@@ -1,0 +1,87 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/fragvisor"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// benchOptions returns the experiment size for benchmarks: small in
+// -short mode, the documented 1/10 paper scale otherwise.
+func benchOptions(b *testing.B) experiments.Options {
+	if testing.Short() {
+		return experiments.QuickOptions()
+	}
+	return experiments.DefaultOptions()
+}
+
+// runFigure executes one figure's experiment b.N times, keeping the last
+// table so the run is not optimized away and reporting the row count.
+func runFigure(b *testing.B, name string) {
+	o := benchOptions(b)
+	var tab *metrics.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = experiments.Run(name, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if tab == nil || len(tab.Rows) == 0 {
+		b.Fatal("empty result table")
+	}
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+// One benchmark per evaluation figure. Each regenerates the paper
+// figure's full data series; run with -bench to print timings, or use
+// cmd/fragbench to see the tables themselves.
+
+func BenchmarkFig01MotivationStudy(b *testing.B)     { runFigure(b, "fig1") }
+func BenchmarkFig04DSMFaultTraffic(b *testing.B)     { runFigure(b, "fig4") }
+func BenchmarkFig05DSMConcurrentWrites(b *testing.B) { runFigure(b, "fig5") }
+func BenchmarkFig06NetworkDelegation(b *testing.B)   { runFigure(b, "fig6") }
+func BenchmarkFig07StorageDelegation(b *testing.B)   { runFigure(b, "fig7") }
+func BenchmarkFig08NPBvsOvercommit(b *testing.B)     { runFigure(b, "fig8") }
+func BenchmarkFig09NPBvsGiantVM(b *testing.B)        { runFigure(b, "fig9") }
+func BenchmarkFig10OptimizedGuest(b *testing.B)      { runFigure(b, "fig10") }
+func BenchmarkFig11CheckpointTime(b *testing.B)      { runFigure(b, "fig11") }
+func BenchmarkFig12LEMP(b *testing.B)                { runFigure(b, "fig12") }
+func BenchmarkFig13OpenLambda(b *testing.B)          { runFigure(b, "fig13") }
+func BenchmarkFig14SchedulerTrace(b *testing.B)      { runFigure(b, "fig14") }
+
+// BenchmarkVCPUMigration measures the single-migration microbenchmark
+// (§7.3: 86 us average, 38 us of it the register dump) and reports the
+// simulated latency.
+func BenchmarkVCPUMigration(b *testing.B) {
+	tb := fragvisor.NewTestbed(2)
+	vm := tb.NewFragVisorVM(2, 4<<30)
+	var last fragvisor.Time
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Env.Spawn("migrate", func(p *fragvisor.Proc) {
+			last = vm.MigrateVCPU(p, 1, 1-vm.VCPUNodes()[1], 0)
+		})
+		tb.Run()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last)/1e3, "virtual-us/migration")
+}
+
+// BenchmarkDSMFault measures the simulator's cost per remote DSM write
+// fault — the engine's hottest path.
+func BenchmarkDSMFault(b *testing.B) {
+	tb := fragvisor.NewTestbed(2)
+	vm := tb.NewFragVisorVM(2, 4<<30)
+	b.ResetTimer()
+	tb.Env.Spawn("pingpong", func(p *fragvisor.Proc) {
+		for i := 0; i < b.N; i++ {
+			vm.DSM.Touch(p, i%2, 12345, true)
+		}
+	})
+	tb.Run()
+}

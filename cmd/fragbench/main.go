@@ -1,0 +1,47 @@
+// Command fragbench regenerates the paper's evaluation figures as text
+// tables.
+//
+// Usage:
+//
+//	fragbench -fig fig8            # one figure
+//	fragbench -fig all             # every figure (EXPERIMENTS.md input)
+//	fragbench -fig fig12 -scale 1  # full paper scale
+//
+// Run "fragbench -list" for the available experiment ids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/fragvisor"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment id (e.g. fig8) or 'all'")
+	scale := flag.Float64("scale", 0.1, "workload scale (1.0 = paper scale)")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(fragvisor.ExperimentNames(), "\n"))
+		return
+	}
+	names := fragvisor.ExperimentNames()
+	if *fig != "all" {
+		names = []string{*fig}
+	}
+	for _, name := range names {
+		tab, err := fragvisor.RunExperiment(name, *scale, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s]\n", name)
+		tab.Fprint(os.Stdout)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,30 @@
+// Command fragsched renders the scheduling-driven migration trace
+// (Figure 14): FragBFF placing, migrating, and consolidating a live
+// Aggregate VM while it serves web requests.
+//
+// Usage:
+//
+//	fragsched             # 1/10-scale timeline (~70 virtual seconds)
+//	fragsched -scale 1    # the paper's full ~700 s timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/fragvisor"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "timeline scale (1.0 = paper's ~700 s)")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	flag.Parse()
+
+	tab, err := fragvisor.RunExperiment("fig14", *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tab.Fprint(os.Stdout)
+}

@@ -1,0 +1,67 @@
+// Command fragsim boots one VM under a chosen profile and runs one
+// workload, printing the elapsed virtual time and DSM statistics — a
+// quick way to poke at the system.
+//
+// Usage:
+//
+//	fragsim -profile fragvisor -vcpus 4 -workload IS -scale 0.1
+//	fragsim -profile giantvm -vcpus 4 -workload lemp:250ms
+//	fragsim -profile overcommit -vcpus 4 -workload serverless
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/fragvisor"
+)
+
+func main() {
+	profile := flag.String("profile", "fragvisor", "fragvisor | giantvm | overcommit")
+	vcpus := flag.Int("vcpus", 4, "vCPU count")
+	wl := flag.String("workload", "EP", "NPB kernel name, lemp:<duration>, or serverless")
+	scale := flag.Float64("scale", 0.1, "workload scale")
+	mem := flag.Int64("mem", 16<<30, "guest memory bytes")
+	flag.Parse()
+
+	var tb *fragvisor.Testbed
+	var vm *fragvisor.VM
+	switch *profile {
+	case "fragvisor":
+		tb = fragvisor.NewTestbed(*vcpus)
+		vm = tb.NewFragVisorVM(*vcpus, *mem)
+	case "giantvm":
+		tb = fragvisor.NewTestbed(*vcpus)
+		vm = tb.NewGiantVM(*vcpus, *mem)
+	case "overcommit":
+		tb = fragvisor.NewTestbed(1)
+		vm = tb.NewOvercommitVM(*vcpus, 1, *mem)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(1)
+	}
+
+	switch {
+	case *wl == "serverless":
+		res := fragvisor.RunServerless(vm, *scale)
+		fmt.Printf("download=%v extract=%v detect=%v total=%v\n",
+			res.Download, res.Extract, res.Detect, res.Total)
+	case strings.HasPrefix(*wl, "lemp:"):
+		d, err := time.ParseDuration(strings.TrimPrefix(*wl, "lemp:"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res := fragvisor.RunLEMP(vm, fragvisor.Time(d.Nanoseconds()), 50)
+		fmt.Printf("throughput=%.2f req/s mean-latency=%v\n", res.Throughput, res.MeanLatency)
+	default:
+		elapsed := fragvisor.RunNPB(vm, *wl, *scale)
+		fmt.Printf("%s x%d on %s: %v\n", *wl, *vcpus, *profile, elapsed)
+	}
+	st := vm.DSM.TotalStats()
+	fmt.Printf("dsm: read-faults=%d write-faults=%d local-hits=%d invalidations=%d bytes-moved=%d\n",
+		st.ReadFaults, st.WriteFaults, st.LocalHits, st.Invalidations, st.BytesMoved)
+}

@@ -1,0 +1,33 @@
+// LEMP: the paper's web-stack scenario (§7.2, Fig 12). An NGINX front
+// end on vCPU0 dispatches to PHP workers on the other vCPUs over an
+// in-guest socket; an ApacheBench-style client measures throughput. The
+// example sweeps the request processing time to show the crossover: short
+// requests lose to overcommitment (the cross-node NGINX-PHP socket
+// dominates), long requests win by up to ~3x (real cores beat a shared
+// one).
+package main
+
+import (
+	"fmt"
+
+	"repro/fragvisor"
+)
+
+func main() {
+	fmt.Println("LEMP on a 4-vCPU Aggregate VM vs 4 vCPUs overcommitted on 1 pCPU")
+	fmt.Println("processing   fragvisor      overcommit     speedup")
+	for _, processing := range []fragvisor.Time{
+		25 * fragvisor.Millisecond,
+		100 * fragvisor.Millisecond,
+		500 * fragvisor.Millisecond,
+	} {
+		frag := fragvisor.RunLEMP(
+			fragvisor.NewTestbed(4).NewFragVisorVM(4, 16<<30), processing, 40)
+		oc := fragvisor.RunLEMP(
+			fragvisor.NewTestbed(1).NewOvercommitVM(4, 1, 16<<30), processing, 40)
+		fmt.Printf("%-12v %7.2f req/s  %7.2f req/s  %.2fx\n",
+			processing, frag.Throughput, oc.Throughput, frag.Throughput/oc.Throughput)
+	}
+	fmt.Println("\nAn Aggregate VM is not a panacea: below ~40 ms the socket between")
+	fmt.Println("slices dominates and overcommitment wins — exactly the paper's Figure 12.")
+}

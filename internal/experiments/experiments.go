@@ -1,0 +1,134 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§2 Fig 1, §7.1 Figs 4–7 and the checkpoint study, §7.2 Figs 8–13, §7.3
+// Fig 14) as deterministic simulation runs that print the same rows the
+// paper plots. Each runner builds fresh clusters and VMs, drives the
+// workload through the public hypervisor profiles, and returns a
+// metrics.Table; the cmd/fragbench binary and the repository's
+// testing.B benchmarks are thin wrappers over these runners.
+//
+// Absolute numbers come from the simulation's calibrated cost model and
+// are not expected to match the paper's testbed; the shapes — who wins,
+// by roughly what factor, where crossovers fall — are the reproduction
+// target. EXPERIMENTS.md records measured-vs-paper for every run.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/giantvm"
+	"repro/internal/hypervisor"
+	"repro/internal/metrics"
+	"repro/internal/overcommit"
+	"repro/internal/sim"
+)
+
+// Options tunes experiment size. Scale multiplies workload compute times
+// and dataset sizes (1.0 = paper scale); smaller values run faster with
+// preserved ratios.
+type Options struct {
+	Scale float64
+	Seed  int64
+}
+
+// DefaultOptions runs at 1/10 of paper scale.
+func DefaultOptions() Options { return Options{Scale: 0.1, Seed: 42} }
+
+// QuickOptions is used by unit tests and -short benchmarks.
+func QuickOptions() Options { return Options{Scale: 0.02, Seed: 42} }
+
+func (o Options) check() Options {
+	if o.Scale <= 0 {
+		panic("experiments: scale must be positive")
+	}
+	return o
+}
+
+// guestMem is the guest RAM given to workload VMs.
+const guestMem = 16 << 30
+
+// newFragVM builds a FragVisor Aggregate VM with one vCPU per node on a
+// fresh simulated cluster.
+func newFragVM(n int) *hypervisor.VM {
+	env := sim.NewEnv()
+	c := cluster.NewDefault(env, n)
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return hypervisor.New(hypervisor.FragVisorConfig(c, hypervisor.SpreadPlacement(nodes, n), guestMem))
+}
+
+// newFragVMVanillaGuest is FragVisor with the unpatched guest (Fig 10).
+func newFragVMVanillaGuest(n int) *hypervisor.VM {
+	env := sim.NewEnv()
+	c := cluster.NewDefault(env, n)
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	cfg := hypervisor.FragVisorConfig(c, hypervisor.SpreadPlacement(nodes, n), guestMem)
+	cfg.Guest.Optimized = false
+	cfg.Guest.NUMAAware = false
+	return hypervisor.New(cfg)
+}
+
+// newGiantVM builds the GiantVM baseline with one vCPU per node.
+func newGiantVM(n int) *hypervisor.VM {
+	env := sim.NewEnv()
+	c := cluster.NewDefault(env, n)
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return giantvm.New(c, nodes, n, guestMem)
+}
+
+// newOvercommitVM builds a single-node VM with nVCPU vCPUs on k pCPUs.
+func newOvercommitVM(nVCPU, k int) *hypervisor.VM {
+	env := sim.NewEnv()
+	c := cluster.NewDefault(env, 1)
+	return overcommit.New(c, 0, k, nVCPU, guestMem)
+}
+
+// newSingleMachineVM builds a non-overcommitted single-node VM: n vCPUs on
+// n pCPUs — the "vanilla Linux single machine" baseline of Fig 1.
+func newSingleMachineVM(n int) *hypervisor.VM {
+	env := sim.NewEnv()
+	c := cluster.NewDefault(env, 1)
+	return overcommit.New(c, 0, n, n, guestMem)
+}
+
+// Runner produces one figure's table.
+type Runner func(Options) *metrics.Table
+
+// registry maps experiment ids to runners. Populated by init functions in
+// the per-figure files.
+var registry = map[string]Runner{}
+
+func register(name string, r Runner) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("experiments: duplicate runner %q", name))
+	}
+	registry[name] = r
+}
+
+// Names returns all experiment ids, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(name string, o Options) (*metrics.Table, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(o.check()), nil
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every registered experiment at quick
+// scale and checks each produces a populated table.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tab, err := Run(name, QuickOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			if tab.String() == "" {
+				t.Fatal("empty rendering")
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", QuickOptions()); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+func cell(t *testing.T, row []string, i int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(row[i], 64)
+	if err != nil {
+		t.Fatalf("cell %d = %q: %v", i, row[i], err)
+	}
+	return v
+}
+
+// TestFig4Shape: sharing cost grows with node count; false == true.
+func TestFig4Shape(t *testing.T) {
+	tab, _ := Run("fig4", QuickOptions())
+	var prev float64
+	for _, row := range tab.Rows {
+		f, tr := cell(t, row, 2), cell(t, row, 3)
+		if f < 1.5 {
+			t.Errorf("vcpus=%s: false-sharing ratio %.2f too low", row[0], f)
+		}
+		if ratio := tr / f; ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("vcpus=%s: true/false = %.2f, want ~1", row[0], ratio)
+		}
+		if f < prev*0.9 {
+			t.Errorf("sharing cost decreased with more nodes: %.2f after %.2f", f, prev)
+		}
+		prev = f
+	}
+}
+
+// TestFig5Shape: FragVisor no-sharing >> max-sharing; overcommit flat.
+func TestFig5Shape(t *testing.T) {
+	tab, _ := Run("fig5", QuickOptions())
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	if cell(t, first, 1) < 3*cell(t, last, 1) {
+		t.Errorf("fragvisor ops: no-sharing %s not >> max-sharing %s", first[1], last[1])
+	}
+	ocRatio := cell(t, first, 2) / cell(t, last, 2)
+	if ocRatio < 0.85 || ocRatio > 1.15 {
+		t.Errorf("overcommit ops not flat: ratio %.2f", ocRatio)
+	}
+}
+
+// TestFig7Shape: local >= bypass > raw DSM.
+func TestFig7Shape(t *testing.T) {
+	tab, _ := Run("fig7", QuickOptions())
+	local := cell(t, tab.Rows[0], 1)
+	dsm := cell(t, tab.Rows[1], 1)
+	bypass := cell(t, tab.Rows[2], 1)
+	if !(local > bypass && bypass > dsm) {
+		t.Errorf("read bandwidth ordering wrong: local=%.0f dsm=%.0f bypass=%.0f", local, dsm, bypass)
+	}
+}
+
+// TestFig8Shape: EP near-linear at 4 vCPUs, IS clearly below it.
+func TestFig8Shape(t *testing.T) {
+	tab, _ := Run("fig8", QuickOptions())
+	var ep4, is4 float64
+	for _, row := range tab.Rows {
+		if row[0] == "EP" && row[1] == "4" {
+			ep4 = cell(t, row, 2)
+		}
+		if row[0] == "IS" && row[1] == "4" {
+			is4 = cell(t, row, 2)
+		}
+	}
+	if ep4 < 3.3 {
+		t.Errorf("EP 4-vCPU speedup = %.2f, want ~3.9", ep4)
+	}
+	if is4 > ep4-0.5 {
+		t.Errorf("IS speedup %.2f not clearly below EP's %.2f", is4, ep4)
+	}
+}
+
+// TestFig9Shape: FragVisor faster than GiantVM for every kernel/size.
+func TestFig9Shape(t *testing.T) {
+	tab, _ := Run("fig9", QuickOptions())
+	for _, row := range tab.Rows {
+		for i := 1; i <= 3; i++ {
+			if r := cell(t, row, i); r < 1.0 {
+				t.Errorf("%s at %d vcpus: GiantVM/FragVisor = %.2f < 1", row[0], i+1, r)
+			}
+		}
+	}
+}
+
+// TestFig10Shape: the optimized guest never loses to vanilla.
+func TestFig10Shape(t *testing.T) {
+	tab, _ := Run("fig10", QuickOptions())
+	for _, row := range tab.Rows {
+		if r := cell(t, row, 3); r < 0.95 {
+			t.Errorf("%s: optimized/vanilla = %.2f < 1", row[0], r)
+		}
+	}
+}
+
+// TestFig11Shape: checkpoint overhead vs single-node stays <= ~10%.
+func TestFig11Shape(t *testing.T) {
+	tab, _ := Run("fig11", QuickOptions())
+	for _, row := range tab.Rows {
+		pct := strings.TrimSuffix(row[4], "%")
+		v, err := strconv.ParseFloat(pct, 64)
+		if err != nil {
+			t.Fatalf("overhead cell %q", row[4])
+		}
+		if v > 10.0 {
+			t.Errorf("%s/%s vcpus: overhead %.1f%% > 10%%", row[0], row[1], v)
+		}
+	}
+}
+
+// TestFig12Shape: FragVisor loses at 25 ms and wins at 500 ms vs both
+// baselines.
+func TestFig12Shape(t *testing.T) {
+	tab, _ := Run("fig12", QuickOptions())
+	for _, row := range tab.Rows {
+		frag := cell(t, row, 2)
+		ratioGiant := cell(t, row, 4)
+		switch row[0] {
+		case "25.000ms":
+			if frag > 1.0 {
+				t.Errorf("25ms %s vcpus: fragvisor/overcommit = %.2f, want < 1", row[1], frag)
+			}
+			if ratioGiant > 1.0 {
+				t.Errorf("25ms %s vcpus: fragvisor/giantvm = %.2f, want < 1", row[1], ratioGiant)
+			}
+		case "500.000ms":
+			// The speedup grows with vCPU count (paper: 3.5x at 4
+			// vCPUs); at 2 vCPUs the single worker is near parity.
+			if row[1] == "4" && frag < 1.8 {
+				t.Errorf("500ms 4 vcpus: fragvisor/overcommit = %.2f, want >> 1", frag)
+			}
+			if row[1] == "2" && frag < 0.85 {
+				t.Errorf("500ms 2 vcpus: fragvisor/overcommit = %.2f, collapsed", frag)
+			}
+			if ratioGiant < 1.0 {
+				t.Errorf("500ms %s vcpus: fragvisor/giantvm = %.2f, want > 1", row[1], ratioGiant)
+			}
+		}
+	}
+}
+
+// TestFig13Shape: FragVisor beats GiantVM on totals at every size.
+func TestFig13Shape(t *testing.T) {
+	tab, _ := Run("fig13", QuickOptions())
+	totals := map[string]map[string]float64{}
+	for _, row := range tab.Rows {
+		if totals[row[0]] == nil {
+			totals[row[0]] = map[string]float64{}
+		}
+		totals[row[0]][row[1]] = cell(t, row, 5)
+	}
+	for size, m := range totals {
+		if m["fragvisor"] <= m["giantvm"] {
+			t.Errorf("%s vcpus: fragvisor total speedup %.2f <= giantvm %.2f",
+				size, m["fragvisor"], m["giantvm"])
+		}
+	}
+}
+
+// TestFig14Shape: the trace must contain migrations, a handback, and
+// latency samples.
+func TestFig14Shape(t *testing.T) {
+	tab, _ := Run("fig14", QuickOptions())
+	notes := strings.Join(tab.Notes, "\n")
+	if !strings.Contains(notes, "handbacks") {
+		t.Fatalf("notes missing scheduler stats: %s", notes)
+	}
+	if strings.Contains(notes, "0 handbacks") {
+		t.Errorf("target VM never consolidated: %s", notes)
+	}
+	if !strings.Contains(notes, "request latency") {
+		t.Errorf("no request latencies recorded: %s", notes)
+	}
+}

@@ -1,0 +1,301 @@
+// Package guest models the guest operating system running inside an
+// Aggregate VM — the parts of it that matter for distributed execution.
+//
+// The paper ships two guest kernels: a vanilla Linux and an optimized build
+// whose patches (a) separate uncorrelated kernel data structures that
+// shared pages (false sharing) and (b) exploit the NUMA topology FragVisor
+// exposes, so allocations land on the local slice. This package models the
+// guest kernel as the set of hot kernel pages SMP code paths touch, plus a
+// memory allocator and in-guest sockets:
+//
+//   - Per-CPU scheduler/task pages: one page per vCPU when optimized; two
+//     vCPUs share a page in the vanilla layout (false sharing).
+//   - A global allocator-lock page every memory allocation serializes on.
+//   - Page-table pages (mem.KindContext) eligible for contextual DSM.
+//   - Socket buffer pages carrying in-guest byte streams (e.g. the
+//     NGINX-to-PHP local socket in a LEMP stack).
+//
+// All accesses go through the VM's DSM, so kernel-induced sharing costs
+// emerge exactly where the paper observed them: allocation phases of IS/FT,
+// cross-vCPU socket traffic, TLB shootdowns.
+package guest
+
+import (
+	"fmt"
+
+	"repro/internal/dsm"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Config selects the guest kernel build and its distribution awareness.
+type Config struct {
+	// Optimized applies the paper's guest patches: uncorrelated kernel
+	// structures padded onto separate pages.
+	Optimized bool
+	// NUMAAware makes the allocator honor the NUMA topology exposed by
+	// the hypervisor, so anonymous memory is node-local from first touch.
+	NUMAAware bool
+}
+
+// OptimizedConfig is the guest build FragVisor ships.
+func OptimizedConfig() Config { return Config{Optimized: true, NUMAAware: true} }
+
+// VanillaConfig is an unmodified guest kernel.
+func VanillaConfig() Config { return Config{} }
+
+// Costs models guest-kernel CPU costs that are independent of the DSM.
+type Costs struct {
+	SyscallCPU sim.Time // fixed syscall entry/exit + work
+	WakeupIPI  sim.Time // same-node wakeup cost
+	// AllocBatchPages is how many pages the allocator hands out per
+	// acquisition of its shared lock (zone-lock batching). 1 models the
+	// worst-case per-page path; larger values model per-CPU pageset
+	// batching.
+	AllocBatchPages int64
+}
+
+// DefaultCosts returns the guest cost model.
+func DefaultCosts() Costs {
+	return Costs{
+		SyscallCPU:      500 * sim.Nanosecond,
+		WakeupIPI:       200 * sim.Nanosecond,
+		AllocBatchPages: 4,
+	}
+}
+
+// Notifier delivers cross-vCPU wakeups (scheduler IPIs). The hypervisor
+// provides one that turns remote wakeups into fabric messages.
+type Notifier interface {
+	// Wakeup notifies the vCPU from the caller's node and invokes
+	// deliver when the IPI lands there — immediately for same-node
+	// wakeups, after a fabric message for cross-node ones. The caller
+	// is blocked only for its local send cost.
+	Wakeup(p *sim.Proc, fromNode, toVCPU int, deliver func())
+	// NodeOf reports the node currently hosting a vCPU.
+	NodeOf(vcpu int) int
+}
+
+// Kernel is the guest OS instance of one VM.
+type Kernel struct {
+	cfg    Config
+	costs  Costs
+	env    *sim.Env
+	dsm    *dsm.DSM
+	layout *mem.Layout
+	notif  Notifier
+	nVCPU  int
+
+	percpu    []mem.PageID // per-vCPU hot kernel page (shared in vanilla layout)
+	allocLock mem.PageID   // allocator serialization page
+	allocMu   *sim.Mutex   // the zone lock itself: mutual exclusion
+	slabMu    *sim.Mutex   // small-object (slab/malloc-arena) lock
+	pgTables  mem.Region   // page-table pages (contextual)
+	pgd       mem.PageID   // shared top-level mm state touched by every
+	// mapping change (the TLB-shootdown path contextual DSM piggybacks)
+	heap     mem.Region // anonymous memory pool
+	heapNext int64      // bump pointer, in pages
+	perNode  map[int]*nodeHeap
+
+	sockets int // socket name counter
+}
+
+// nodeHeap is a per-node allocation arena used when NUMA aware.
+type nodeHeap struct {
+	region mem.Region
+	next   int64
+}
+
+// New builds the guest kernel for a VM with the given vCPU count and
+// memory size. The heap size bounds total allocatable anonymous memory.
+func New(env *sim.Env, d *dsm.DSM, layout *mem.Layout, notif Notifier, nVCPU int, heapBytes int64, cfg Config, costs Costs) *Kernel {
+	if nVCPU <= 0 {
+		panic("guest: need at least one vCPU")
+	}
+	k := &Kernel{
+		cfg:     cfg,
+		costs:   costs,
+		env:     env,
+		dsm:     d,
+		layout:  layout,
+		notif:   notif,
+		nVCPU:   nVCPU,
+		perNode: make(map[int]*nodeHeap),
+	}
+	// Kernel page layout: the optimized guest pads each vCPU's hot
+	// structures to a dedicated page; vanilla packs two vCPUs per page
+	// (the false sharing the paper's patch removes).
+	var kpages mem.Region
+	if cfg.Optimized {
+		kpages = layout.Alloc("kernel.percpu", int64(nVCPU), mem.KindKernel)
+		for i := 0; i < nVCPU; i++ {
+			k.percpu = append(k.percpu, kpages.Page(int64(i)))
+		}
+	} else {
+		n := int64((nVCPU + 1) / 2)
+		kpages = layout.Alloc("kernel.percpu", n, mem.KindKernel)
+		for i := 0; i < nVCPU; i++ {
+			k.percpu = append(k.percpu, kpages.Page(int64(i/2)))
+		}
+	}
+	lockRegion := layout.Alloc("kernel.alloclock", 1, mem.KindKernel)
+	k.allocLock = lockRegion.Page(0)
+	k.allocMu = env.NewMutex()
+	k.slabMu = env.NewMutex()
+	k.pgTables = layout.Alloc("kernel.pgtables", int64(nVCPU)+1, mem.KindContext)
+	k.pgd = k.pgTables.Page(int64(nVCPU))
+	d.MarkContextual(k.pgTables)
+
+	nodes := d.Nodes()
+	if cfg.NUMAAware && len(nodes) > 1 {
+		// The hypervisor exposes one NUMA zone per slice; the allocator
+		// carves a per-node arena and the DSM pre-delegates it.
+		per := heapBytes / int64(len(nodes)) / mem.PageSize
+		if per < 1 {
+			per = 1
+		}
+		for _, n := range nodes {
+			r := layout.Alloc(fmt.Sprintf("heap.node%d", n), per, mem.KindHeap)
+			d.DelegateRange(n, r.Start, r.Pages)
+			k.perNode[n] = &nodeHeap{region: r}
+		}
+	} else {
+		k.heap = layout.AllocBytes("heap", heapBytes, mem.KindHeap)
+	}
+	return k
+}
+
+// Config returns the guest build configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// NVCPU returns the number of vCPUs the guest was built for.
+func (k *Kernel) NVCPU() int { return k.nVCPU }
+
+// Layout returns the guest physical layout.
+func (k *Kernel) Layout() *mem.Layout { return k.layout }
+
+// Tick models a scheduler tick / fast kernel entry on a vCPU: a write to
+// that vCPU's hot kernel page. In the vanilla layout, ticks of paired
+// vCPUs on different nodes ping-pong their shared page.
+func (k *Kernel) Tick(p *sim.Proc, node, vcpu int) {
+	p.Sleep(k.costs.SyscallCPU)
+	k.dsm.Touch(p, node, k.percpu[vcpu], true)
+}
+
+// PageTableUpdate models an mmap/TLB-shootdown path: a write to the
+// vCPU's page-table page plus the shared top-level mm state every mapping
+// change touches in an SMP guest. With contextual DSM both piggyback on
+// the shootdown IPI that is sent anyway; without it, the shared page runs
+// the full invalidation protocol and ping-pongs between slices.
+func (k *Kernel) PageTableUpdate(p *sim.Proc, node, vcpu int) {
+	k.dsm.Touch(p, node, k.pgTables.Page(int64(vcpu)), true)
+	k.dsm.Touch(p, node, k.pgd, true)
+}
+
+// Alloc models an anonymous memory allocation (mmap + first touch) of the
+// given size by a vCPU, returning the region. The allocator serializes on
+// a shared kernel page per 4 MiB chunk — the kernel-structure contention
+// the paper blames for IS/FT's sub-linear scaling — and then first-touches
+// the data pages.
+func (k *Kernel) Alloc(p *sim.Proc, node, vcpu int, bytes int64) mem.Region {
+	if bytes <= 0 {
+		panic("guest: allocation size must be positive")
+	}
+	pages := (bytes + mem.PageSize - 1) / mem.PageSize
+	batch := k.costs.AllocBatchPages
+	if batch < 1 {
+		batch = 1
+	}
+	for c := int64(0); c < pages; c += batch {
+		// The zone lock is a real lock: acquiring it from another node
+		// both waits out the current holder and transfers the lock's
+		// page — the serialization the paper blames for IS/FT (§7.2).
+		k.allocMu.Lock(p)
+		k.dsm.Touch(p, node, k.allocLock, true)
+		p.Sleep(k.costs.SyscallCPU)
+		k.PageTableUpdate(p, node, vcpu)
+		k.allocMu.Unlock()
+	}
+	// First touch: local minor faults when the range is pre-delegated to
+	// this node (NUMA-aware guest) or origin-local; remote claims
+	// otherwise. The DSM extent table prices each case.
+	r := k.carve(node, pages)
+	k.dsm.TouchRange(p, node, r.Start, r.Pages, true)
+	return r
+}
+
+// carve takes pages from the appropriate arena. When the local NUMA arena
+// is exhausted, the allocator spills into another slice's arena —
+// including memory-only slices, which is how an Aggregate VM borrows RAM
+// from nodes that contribute no vCPUs. Spilled memory pays remote
+// first-touch costs through the DSM.
+func (k *Kernel) carve(node int, pages int64) mem.Region {
+	if k.cfg.NUMAAware && len(k.perNode) > 0 {
+		h, ok := k.perNode[node]
+		if !ok {
+			panic(fmt.Sprintf("guest: no NUMA arena for node %d", node))
+		}
+		if h.next+pages > h.region.Pages {
+			h = k.spillArena(pages)
+			if h == nil {
+				panic(fmt.Sprintf("guest: all arenas exhausted allocating %d pages", pages))
+			}
+		}
+		r := mem.Region{Name: "anon", Start: h.region.Start + mem.PageID(h.next), Pages: pages, Kind: mem.KindHeap}
+		h.next += pages
+		return r
+	}
+	if k.heapNext+pages > k.heap.Pages {
+		panic(fmt.Sprintf("guest: heap exhausted (%d + %d > %d pages)", k.heapNext, pages, k.heap.Pages))
+	}
+	r := mem.Region{Name: "anon", Start: k.heap.Start + mem.PageID(k.heapNext), Pages: pages, Kind: mem.KindHeap}
+	k.heapNext += pages
+	return r
+}
+
+// AllocFast models a small-object allocation (slab/kmalloc, or a
+// user-space malloc hitting its arena): the optimized guest serves it from
+// a per-CPU cache (its own hot page — a local hit once owned), while the
+// vanilla guest serializes on the shared allocator page, which ping-pongs
+// between slices under concurrent allocation-heavy workloads such as PHP
+// string manipulation.
+func (k *Kernel) AllocFast(p *sim.Proc, node, vcpu int) {
+	p.Sleep(k.costs.SyscallCPU)
+	if k.cfg.Optimized {
+		k.dsm.Touch(p, node, k.percpu[vcpu], true)
+		return
+	}
+	k.slabMu.Lock(p)
+	k.dsm.Touch(p, node, k.allocLock, true)
+	k.slabMu.Unlock()
+}
+
+// spillArena returns the arena with the most free pages that still fits
+// the request, preferring higher node ids deterministically on ties
+// (memory-only slices are appended last, so they absorb spill first when
+// equally empty).
+func (k *Kernel) spillArena(pages int64) *nodeHeap {
+	var best *nodeHeap
+	bestFree := int64(-1)
+	bestNode := -1
+	for n, h := range k.perNode {
+		free := h.region.Pages - h.next
+		if free < pages {
+			continue
+		}
+		if free > bestFree || (free == bestFree && n > bestNode) {
+			best, bestFree, bestNode = h, free, n
+		}
+	}
+	return best
+}
+
+// Free returns a region to the allocator. The bump allocator does not
+// recycle; Free models only the kernel-page traffic of unmapping.
+func (k *Kernel) Free(p *sim.Proc, node, vcpu int, r mem.Region) {
+	k.allocMu.Lock(p)
+	k.dsm.Touch(p, node, k.allocLock, true)
+	p.Sleep(k.costs.SyscallCPU)
+	k.PageTableUpdate(p, node, vcpu)
+	k.allocMu.Unlock()
+}

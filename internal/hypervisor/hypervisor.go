@@ -1,0 +1,292 @@
+// Package hypervisor implements the resource-borrowing hypervisor: the
+// paper's core contribution (§4–§6). It assembles an Aggregate VM from
+// "VM slices" — hypervisor instances on the nodes contributing resources —
+// and wires together the distributed services the slices share: the DSM
+// for pseudo-physical memory, the distributed vCPU manager (IPI routing,
+// live migration), the guest kernel model, and delegated virtio devices.
+//
+// The first slice in a VM's placement is the bootstrap slice: it owns the
+// DSM directory, backs guest memory, and (by default) hosts the physical
+// devices. All other slices are companions; after boot every slice is a
+// peer. Consolidation — migrating vCPUs onto fewer nodes as resources free
+// up — is the mobility feature that distinguishes a resource-borrowing
+// hypervisor from earlier distributed VMs, and is exercised by the FragBFF
+// scheduler in package sched.
+//
+// Baselines are expressed as configuration profiles of the same machinery:
+// GiantVM (user-space DSM, no multiqueue, no DSM-bypass, vanilla guest, no
+// mobility) and single-node overcommitment (all vCPUs time-sharing the
+// pCPUs of one host, no DSM traffic). See packages giantvm and overcommit.
+package hypervisor
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dsm"
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/vcpu"
+	"repro/internal/virtio"
+)
+
+// Pin places one vCPU: the hosting node and the pCPU index on that node.
+type Pin struct {
+	Node int
+	PCPU int
+}
+
+// Config assembles an Aggregate VM. Use FragVisorConfig, or the giantvm /
+// overcommit packages, for the standard profiles.
+type Config struct {
+	Name      string
+	Cluster   *cluster.Cluster
+	Layer     *msg.Layer // shared messaging layer; created over the fabric if nil
+	Placement []Pin      // one entry per vCPU; Placement[0]'s node is the bootstrap slice
+	MemBytes  int64      // guest RAM (bounds the guest heap)
+	// MemoryNodes lists additional nodes contributing *memory-only* VM
+	// slices (§4: a slice may consist of just RAM). They join the DSM
+	// and the NUMA-aware guest spreads its arenas over them, but they
+	// host no vCPUs.
+	MemoryNodes []int
+
+	Guest  guest.Config
+	DSM    dsm.Params
+	VCPU   vcpu.Params
+	Virtio virtio.Params
+
+	Multiqueue bool
+	DSMBypass  bool
+	NetOwner   int // node with the physical NIC; -1 = bootstrap
+	BlkOwner   int // node with the SSD; -1 = bootstrap
+
+	// Mobility enables vCPU migration. GiantVM lacks it.
+	Mobility bool
+	// HelperThreads pins one permanent helper thread per slice on the
+	// pCPU of each vCPU (GiantVM's QEMU I/O threads when no spare pCPUs
+	// exist). Off in the paper's "best numbers for GiantVM" setup.
+	HelperThreads bool
+
+	BootCost sim.Time // per-slice setup charged by Boot
+}
+
+// FragVisorConfig returns the paper's FragVisor profile: kernel-space DSM
+// with contextual piggybacking, multiqueue + DSM-bypass virtio, the
+// optimized NUMA-aware guest, and full mobility.
+func FragVisorConfig(c *cluster.Cluster, placement []Pin, memBytes int64) Config {
+	return Config{
+		Name:       "fragvisor",
+		Cluster:    c,
+		Placement:  placement,
+		MemBytes:   memBytes,
+		Guest:      guest.OptimizedConfig(),
+		DSM:        dsm.DefaultParams(),
+		VCPU:       vcpu.DefaultParams(),
+		Virtio:     virtio.DefaultParams(),
+		Multiqueue: true,
+		DSMBypass:  true,
+		NetOwner:   -1,
+		BlkOwner:   -1,
+		Mobility:   true,
+		BootCost:   2 * sim.Millisecond,
+	}
+}
+
+// SpreadPlacement pins vCPU i on node nodes[i%len(nodes)], each on its own
+// pCPU — the distributed placement used throughout the evaluation.
+func SpreadPlacement(nodes []int, nVCPU int) []Pin {
+	if len(nodes) == 0 || nVCPU <= 0 {
+		panic("hypervisor: SpreadPlacement needs nodes and vCPUs")
+	}
+	pins := make([]Pin, nVCPU)
+	next := make(map[int]int)
+	for i := 0; i < nVCPU; i++ {
+		n := nodes[i%len(nodes)]
+		pins[i] = Pin{Node: n, PCPU: next[n]}
+		next[n]++
+	}
+	return pins
+}
+
+// PackedPlacement pins nVCPU vCPUs onto k pCPUs of a single node —
+// the overcommitment baseline.
+func PackedPlacement(node, k, nVCPU int) []Pin {
+	if k <= 0 || nVCPU <= 0 {
+		panic("hypervisor: PackedPlacement needs positive counts")
+	}
+	pins := make([]Pin, nVCPU)
+	for i := range pins {
+		pins[i] = Pin{Node: node, PCPU: i % k}
+	}
+	return pins
+}
+
+// VM is a running Aggregate VM.
+type VM struct {
+	Env    *sim.Env
+	Layer  *msg.Layer
+	DSM    *dsm.DSM
+	Kernel *guest.Kernel
+	VCPUs  *vcpu.Manager
+	Net    *virtio.NetDev
+	Blk    *virtio.BlkDev
+	Layout *mem.Layout
+
+	cfg      Config
+	nodes    []int // distinct slice nodes, bootstrap first
+	booted   bool
+	sliceSvc string
+}
+
+// New assembles (but does not boot) an Aggregate VM.
+func New(cfg Config) *VM {
+	if cfg.Cluster == nil || len(cfg.Placement) == 0 {
+		panic("hypervisor: config needs a cluster and a placement")
+	}
+	if cfg.MemBytes <= 0 {
+		panic("hypervisor: config needs guest memory")
+	}
+	env := cfg.Cluster.Env
+	layer := cfg.Layer
+	if layer == nil {
+		layer = msg.NewLayer(env, cfg.Cluster.Fabric, msg.DefaultParams())
+		cfg.Layer = layer
+	}
+
+	// Distinct slice nodes, bootstrap (vCPU0's node) first; memory-only
+	// slices follow the compute slices.
+	seen := map[int]bool{}
+	var nodes []int
+	for _, pin := range cfg.Placement {
+		if !seen[pin.Node] {
+			seen[pin.Node] = true
+			nodes = append(nodes, pin.Node)
+		}
+	}
+	for _, n := range cfg.MemoryNodes {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+
+	vm := &VM{Env: env, Layer: layer, Layout: &mem.Layout{}, cfg: cfg, nodes: nodes}
+	vm.DSM = dsm.New(env, layer, nodes, cfg.DSM)
+
+	placement := make([]int, len(cfg.Placement))
+	pcpus := make([]*sim.PS, len(cfg.Placement))
+	for i, pin := range cfg.Placement {
+		placement[i] = pin.Node
+		pcpus[i] = cfg.Cluster.Node(pin.Node).PCPUs[pin.PCPU]
+	}
+	vm.VCPUs = vcpu.NewManager(env, layer, nodes, placement, pcpus, cfg.VCPU)
+	vm.Kernel = guest.New(env, vm.DSM, vm.Layout, vm.VCPUs, len(cfg.Placement),
+		cfg.MemBytes, cfg.Guest, guest.DefaultCosts())
+
+	netOwner := cfg.NetOwner
+	if netOwner < 0 {
+		netOwner = nodes[0]
+	}
+	blkOwner := cfg.BlkOwner
+	if blkOwner < 0 {
+		blkOwner = nodes[0]
+	}
+	vm.Net = virtio.NewNet(env, vm.DSM, layer, vm.VCPUs, vm.Layout,
+		cfg.Cluster.Client, netOwner, cfg.Virtio,
+		virtio.Config{Owner: netOwner, Multiqueue: cfg.Multiqueue, Bypass: cfg.DSMBypass})
+	vm.Blk = virtio.NewBlk(env, vm.DSM, layer, vm.VCPUs, vm.Layout,
+		cfg.Cluster.Node(blkOwner).SSD, cfg.Virtio,
+		virtio.Config{Owner: blkOwner, Multiqueue: cfg.Multiqueue, Bypass: cfg.DSMBypass})
+
+	if cfg.HelperThreads {
+		for _, ps := range pcpus {
+			ps.SetBackground(ps.Background() + 1)
+		}
+	}
+	return vm
+}
+
+// Config returns the VM's configuration.
+func (vm *VM) Config() Config { return vm.cfg }
+
+// Nodes returns the distinct slice nodes, bootstrap first.
+func (vm *VM) Nodes() []int { return append([]int(nil), vm.nodes...) }
+
+// NVCPU returns the vCPU count.
+func (vm *VM) NVCPU() int { return vm.VCPUs.N() }
+
+// Boot starts the VM: the bootstrap slice contacts every companion slice
+// (handshake + vCPU thread creation, §6.2) and charges the per-slice
+// setup cost. Boot must be called from a process before workloads run.
+func (vm *VM) Boot(p *sim.Proc) {
+	if vm.booted {
+		panic("hypervisor: VM booted twice")
+	}
+	vm.booted = true
+	boot := vm.nodes[0]
+	for _, n := range vm.nodes[1:] {
+		vm.Layer.Call(p, boot, n, vcpuService(vm), "handshake", 256, nil)
+	}
+	p.Sleep(vm.cfg.BootCost * sim.Time(len(vm.nodes)))
+}
+
+// vcpuService names a per-VM slice-management service. Each VM registers
+// its own so multiple VMs can share a messaging layer.
+var sliceServices int
+
+func vcpuService(vm *VM) string {
+	if vm.sliceSvc == "" {
+		sliceServices++
+		vm.sliceSvc = fmt.Sprintf("slice%d", sliceServices)
+		for _, n := range vm.nodes {
+			vm.Layer.Handle(n, vm.sliceSvc, func(m *msg.Message) {
+				switch m.Kind {
+				case "handshake":
+					m.Reply(64, nil)
+				default:
+					panic(fmt.Sprintf("hypervisor: unknown slice message %q", m.Kind))
+				}
+			})
+		}
+	}
+	return vm.sliceSvc
+}
+
+// Run spawns a guest program on a vCPU and returns its process.
+func (vm *VM) Run(vcpuID int, name string, fn func(*vcpu.Ctx)) *sim.Proc {
+	return vm.Env.Spawn(name, func(p *sim.Proc) {
+		fn(vm.VCPUs.NewCtx(p, vcpuID))
+	})
+}
+
+// MigrateVCPU live-migrates a vCPU to the given node and pCPU index,
+// returning the migration latency. It panics for profiles without
+// mobility (GiantVM).
+func (vm *VM) MigrateVCPU(p *sim.Proc, vcpuID, node, pcpuIdx int) sim.Time {
+	if !vm.cfg.Mobility {
+		panic("hypervisor: this profile does not implement vCPU migration")
+	}
+	return vm.VCPUs.Migrate(p, vcpuID, node, vm.cfg.Cluster.Node(node).PCPUs[pcpuIdx])
+}
+
+// VCPUNodes returns the node currently hosting each vCPU.
+func (vm *VM) VCPUNodes() []int {
+	out := make([]int, vm.VCPUs.N())
+	for i := range out {
+		out[i] = vm.VCPUs.NodeOf(i)
+	}
+	return out
+}
+
+// Consolidated reports whether all vCPUs currently share one node.
+func (vm *VM) Consolidated() bool {
+	nodes := vm.VCPUNodes()
+	for _, n := range nodes[1:] {
+		if n != nodes[0] {
+			return false
+		}
+	}
+	return true
+}

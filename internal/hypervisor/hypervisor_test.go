@@ -1,0 +1,163 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/vcpu"
+)
+
+func newCluster(n int) *cluster.Cluster {
+	return cluster.NewDefault(sim.NewEnv(), n)
+}
+
+func TestSpreadPlacement(t *testing.T) {
+	pins := SpreadPlacement([]int{0, 1, 2}, 4)
+	want := []Pin{{0, 0}, {1, 0}, {2, 0}, {0, 1}}
+	for i, w := range want {
+		if pins[i] != w {
+			t.Errorf("pins[%d] = %+v, want %+v", i, pins[i], w)
+		}
+	}
+}
+
+func TestPackedPlacement(t *testing.T) {
+	pins := PackedPlacement(2, 2, 4)
+	want := []Pin{{2, 0}, {2, 1}, {2, 0}, {2, 1}}
+	for i, w := range want {
+		if pins[i] != w {
+			t.Errorf("pins[%d] = %+v, want %+v", i, pins[i], w)
+		}
+	}
+}
+
+func TestNewAggregateVM(t *testing.T) {
+	c := newCluster(4)
+	vm := New(FragVisorConfig(c, SpreadPlacement([]int{0, 1, 2, 3}, 4), 1<<30))
+	if got := vm.Nodes(); len(got) != 4 || got[0] != 0 {
+		t.Fatalf("nodes = %v", got)
+	}
+	if vm.NVCPU() != 4 {
+		t.Fatalf("NVCPU = %d", vm.NVCPU())
+	}
+	if vm.DSM.Origin() != 0 {
+		t.Fatalf("origin = %d", vm.DSM.Origin())
+	}
+	if vm.Consolidated() {
+		t.Fatal("spread VM reported consolidated")
+	}
+}
+
+func TestBootHandshakesCompanions(t *testing.T) {
+	c := newCluster(3)
+	vm := New(FragVisorConfig(c, SpreadPlacement([]int{0, 1, 2}, 3), 1<<30))
+	c.Env.Spawn("boot", func(p *sim.Proc) { vm.Boot(p) })
+	c.Env.Run()
+	if msgs := c.Fabric.Stats().Messages; msgs < 4 {
+		t.Fatalf("boot exchanged %d fabric messages, want >=4 (2 handshakes + replies)", msgs)
+	}
+	if c.Env.Now() < 6*sim.Millisecond {
+		t.Fatalf("boot took %v, expected >= 3 slices x 2ms", c.Env.Now())
+	}
+}
+
+func TestDoubleBootPanics(t *testing.T) {
+	c := newCluster(2)
+	vm := New(FragVisorConfig(c, SpreadPlacement([]int{0, 1}, 2), 1<<30))
+	c.Env.Spawn("boot", func(p *sim.Proc) {
+		vm.Boot(p)
+		defer func() {
+			if recover() == nil {
+				t.Error("double boot did not panic")
+			}
+		}()
+		vm.Boot(p)
+	})
+	c.Env.Run()
+}
+
+func TestRunExecutesOnPinnedPCPU(t *testing.T) {
+	c := newCluster(2)
+	vm := New(FragVisorConfig(c, SpreadPlacement([]int{0, 1}, 2), 1<<30))
+	vm.Run(1, "job", func(ctx *vcpu.Ctx) {
+		ctx.Compute(50 * sim.Millisecond)
+	})
+	c.Env.Run()
+	done := c.Node(1).PCPUs[0].TotalDone()
+	want := cluster.DefaultParams().CyclesFor(50 * sim.Millisecond)
+	if done < want*0.99 || done > want*1.01 {
+		t.Fatalf("node1 pCPU0 did %v cycles, want ~%v", done, want)
+	}
+}
+
+func TestMigrateAndConsolidate(t *testing.T) {
+	c := newCluster(2)
+	vm := New(FragVisorConfig(c, SpreadPlacement([]int{0, 1}, 2), 1<<30))
+	c.Env.Spawn("orchestrator", func(p *sim.Proc) {
+		if d := vm.MigrateVCPU(p, 1, 0, 1); d <= 0 {
+			t.Errorf("migration latency = %v", d)
+		}
+	})
+	c.Env.Run()
+	if !vm.Consolidated() {
+		t.Fatal("VM not consolidated after migration")
+	}
+	if nodes := vm.VCPUNodes(); nodes[1] != 0 {
+		t.Fatalf("vCPU1 on node %d", nodes[1])
+	}
+}
+
+func TestMobilityDisabledPanics(t *testing.T) {
+	c := newCluster(2)
+	cfg := FragVisorConfig(c, SpreadPlacement([]int{0, 1}, 2), 1<<30)
+	cfg.Mobility = false
+	vm := New(cfg)
+	c.Env.Spawn("orchestrator", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("migration without mobility did not panic")
+			}
+		}()
+		vm.MigrateVCPU(p, 1, 0, 1)
+	})
+	c.Env.Run()
+}
+
+func TestHelperThreadsStealCPU(t *testing.T) {
+	c := newCluster(2)
+	cfg := FragVisorConfig(c, SpreadPlacement([]int{0, 1}, 2), 1<<30)
+	cfg.HelperThreads = true
+	vm := New(cfg)
+	var done sim.Time
+	vm.Run(0, "job", func(ctx *vcpu.Ctx) {
+		ctx.Compute(10 * sim.Millisecond)
+		done = ctx.P.Now()
+	})
+	c.Env.Run()
+	// One helper thread halves the vCPU's pCPU share.
+	if done < 19*sim.Millisecond || done > 21*sim.Millisecond {
+		t.Fatalf("compute with helper took %v, want ~20ms", done)
+	}
+	_ = vm
+}
+
+func TestInvalidConfigsPanic(t *testing.T) {
+	c := newCluster(1)
+	for name, fn := range map[string]func(){
+		"no placement": func() { New(Config{Cluster: c, MemBytes: 1}) },
+		"no memory":    func() { New(Config{Cluster: c, Placement: []Pin{{0, 0}}}) },
+		"no cluster":   func() { New(Config{Placement: []Pin{{0, 0}}, MemBytes: 1}) },
+		"bad spread":   func() { SpreadPlacement(nil, 2) },
+		"bad packed":   func() { PackedPlacement(0, 0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

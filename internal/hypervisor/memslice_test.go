@@ -1,0 +1,59 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vcpu"
+)
+
+// TestMemoryOnlySlice exercises §4's memory-borrowing slice: a VM whose
+// compute lives on one node but whose RAM is partly borrowed from a
+// second node that contributes no vCPUs.
+func TestMemoryOnlySlice(t *testing.T) {
+	c := newCluster(2)
+	cfg := FragVisorConfig(c, []Pin{{Node: 0, PCPU: 0}}, 64<<20)
+	cfg.MemoryNodes = []int{1}
+	vm := New(cfg)
+	if nodes := vm.Nodes(); len(nodes) != 2 {
+		t.Fatalf("slice nodes = %v, want compute + memory slice", nodes)
+	}
+	// The guest arena is split over both slices: allocating more than
+	// the local half must spill onto the memory-only slice and pay
+	// remote first-touch.
+	var localTime, spillTime sim.Time
+	vm.Run(0, "alloc", func(ctx *vcpu.Ctx) {
+		start := ctx.P.Now()
+		vm.Kernel.Alloc(ctx.P, ctx.Node(), ctx.ID(), 24<<20) // fits locally (32 MiB arena)
+		localTime = ctx.P.Now() - start
+		start = ctx.P.Now()
+		vm.Kernel.Alloc(ctx.P, ctx.Node(), ctx.ID(), 24<<20) // spills to node 1's arena
+		spillTime = ctx.P.Now() - start
+	})
+	c.Env.Run()
+	if spillTime < 2*localTime {
+		t.Fatalf("spilled allocation (%v) not clearly costlier than local (%v)", spillTime, localTime)
+	}
+	// The spilled pages were claimed from the memory slice's arena.
+	if st := vm.DSM.NodeStats(0); st.BulkRemotePages == 0 || st.BytesMoved == 0 {
+		t.Fatalf("borrowing memory moved no bulk pages: %+v", st)
+	}
+}
+
+// TestMemoryOnlySliceExhaustionPanics: spilling past every arena fails
+// loudly.
+func TestMemoryOnlySliceExhaustionPanics(t *testing.T) {
+	c := newCluster(2)
+	cfg := FragVisorConfig(c, []Pin{{Node: 0, PCPU: 0}}, 8<<20)
+	cfg.MemoryNodes = []int{1}
+	vm := New(cfg)
+	vm.Run(0, "alloc", func(ctx *vcpu.Ctx) {
+		defer func() {
+			if recover() == nil {
+				t.Error("arena exhaustion did not panic")
+			}
+		}()
+		vm.Kernel.Alloc(ctx.P, ctx.Node(), ctx.ID(), 64<<20)
+	})
+	c.Env.Run()
+}

@@ -1,0 +1,93 @@
+package mem
+
+import "testing"
+
+func TestPageAddrRoundTrip(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(PageSize-1) != 0 || PageOf(PageSize) != 1 {
+		t.Fatal("PageOf boundaries wrong")
+	}
+	if PageID(3).Addr() != 3*PageSize {
+		t.Fatalf("Addr = %d", PageID(3).Addr())
+	}
+}
+
+func TestLayoutAlloc(t *testing.T) {
+	var l Layout
+	k := l.Alloc("kernel", 10, KindKernel)
+	h := l.AllocBytes("heap", 3*PageSize+1, KindHeap)
+	if k.Start != 0 || k.End() != 10 {
+		t.Fatalf("kernel region = %+v", k)
+	}
+	if h.Start != 10 || h.Pages != 4 {
+		t.Fatalf("heap region = %+v", h)
+	}
+	if l.TotalPages() != 14 {
+		t.Fatalf("total pages = %d", l.TotalPages())
+	}
+}
+
+func TestLayoutLookup(t *testing.T) {
+	var l Layout
+	l.Alloc("a", 5, KindKernel)
+	b := l.Alloc("b", 5, KindDevice)
+	if r, ok := l.Region("b"); !ok || r != b {
+		t.Fatalf("Region(b) = %+v, %v", r, ok)
+	}
+	if _, ok := l.Region("c"); ok {
+		t.Fatal("found nonexistent region")
+	}
+	if r, ok := l.RegionOf(7); !ok || r.Name != "b" {
+		t.Fatalf("RegionOf(7) = %+v, %v", r, ok)
+	}
+	if _, ok := l.RegionOf(99); ok {
+		t.Fatal("RegionOf out of space succeeded")
+	}
+}
+
+func TestRegionHelpers(t *testing.T) {
+	r := Region{Name: "x", Start: 10, Pages: 4, Kind: KindHeap}
+	if !r.Contains(10) || !r.Contains(13) || r.Contains(14) || r.Contains(9) {
+		t.Fatal("Contains wrong")
+	}
+	if r.Page(2) != 12 {
+		t.Fatalf("Page(2) = %d", r.Page(2))
+	}
+	if r.Bytes() != 4*PageSize {
+		t.Fatalf("Bytes = %d", r.Bytes())
+	}
+}
+
+func TestRegionPageOutOfRangePanics(t *testing.T) {
+	r := Region{Start: 0, Pages: 2}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Page did not panic")
+		}
+	}()
+	r.Page(2)
+}
+
+func TestDuplicateRegionNamePanics(t *testing.T) {
+	var l Layout
+	l.Alloc("a", 1, KindHeap)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name did not panic")
+		}
+	}()
+	l.Alloc("a", 1, KindHeap)
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindKernel:  "kernel",
+		KindContext: "context",
+		KindDevice:  "device",
+		KindHeap:    "heap",
+		Kind(9):     "kind(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

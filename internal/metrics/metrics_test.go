@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("short", 1.5)
+	tab.AddRow("a-longer-name", 42*sim.Microsecond)
+	tab.AddNote("note %d", 7)
+	out := tab.String()
+	for _, want := range []string{"== demo ==", "name", "a-longer-name", "1.500", "42.00us", "note: note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Add(3, 3)
+	if s.Len() != 3 || s.Mean() != 11 || s.Min() != 3 {
+		t.Fatalf("series: len=%d mean=%v min=%v", s.Len(), s.Mean(), s.Min())
+	}
+	var empty Series
+	if empty.Mean() != 0 || empty.Min() != 0 {
+		t.Fatal("empty series not zero")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var samples []sim.Time
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, sim.Time(i))
+	}
+	s := Summarize(samples)
+	if s.N != 100 || s.P50 != 50 || s.P95 != 95 || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 50 { // (1+...+100)/100 = 50.5, integer division
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 5) != 2.0 || Ratio(10, 0) != 0 {
+		t.Fatal("Ratio wrong")
+	}
+}

@@ -1,0 +1,180 @@
+// Package msg implements the inter-hypervisor communication layer of the
+// resource-borrowing hypervisor.
+//
+// FragVisor places its messaging layer in the host kernel (inherited from
+// Popcorn Linux) so that hypervisor services — DSM, vCPU migration, IPI
+// forwarding, I/O delegation — exchange typed messages without user/kernel
+// transitions. This package models that layer: named services register
+// handlers per node, and messages traverse the cluster fabric with a small
+// fixed in-kernel processing cost at the receiver. Same-node messages skip
+// the fabric entirely.
+//
+// Two delivery styles are offered: fire-and-forget Send, and Call, which
+// blocks the calling process until the remote handler replies — the shape
+// of every request/response protocol built on top (page fetches, interrupt
+// acknowledgements, migration handshakes).
+package msg
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Params tunes the messaging layer cost model.
+type Params struct {
+	// HandlerLat is the fixed in-kernel processing time charged at the
+	// receiver before a handler runs (interrupt + demultiplexing).
+	HandlerLat sim.Time
+	// HeaderBytes is added to every message's wire size.
+	HeaderBytes int
+}
+
+// DefaultParams returns the kernel-space messaging costs used by FragVisor.
+func DefaultParams() Params {
+	return Params{HandlerLat: 500 * sim.Nanosecond, HeaderBytes: 64}
+}
+
+// Handler consumes a delivered message. Handlers run as event callbacks;
+// a handler that needs to block must spawn a process.
+type Handler func(m *Message)
+
+// Message is a typed message between hypervisor instances.
+type Message struct {
+	From    int    // sender node (or cluster.ClientID)
+	To      int    // receiver node
+	Service string // destination service name
+	Kind    string // message type within the service
+	Size    int    // payload size in bytes (wire size adds the header)
+	Payload any
+
+	layer   *Layer
+	replyEv *sim.Event
+	reply   *Message
+}
+
+// Reply sends a response of the given size back to the caller of Call.
+// Replying to a one-way message, or twice, panics.
+func (m *Message) Reply(size int, payload any) {
+	if m.replyEv == nil {
+		panic(fmt.Sprintf("msg: Reply to one-way %s/%s", m.Service, m.Kind))
+	}
+	if m.replyEv.Fired() || m.reply != nil {
+		panic(fmt.Sprintf("msg: duplicate Reply to %s/%s", m.Service, m.Kind))
+	}
+	ev := m.replyEv
+	resp := &Message{
+		From: m.To, To: m.From,
+		Service: m.Service, Kind: m.Kind + ".reply",
+		Size: size, Payload: payload, layer: m.layer,
+	}
+	m.reply = resp
+	m.layer.deliver(resp, func() { ev.Fire() })
+}
+
+// ServiceStats counts traffic for one service.
+type ServiceStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Layer is the messaging layer over a fabric. Construct with NewLayer.
+type Layer struct {
+	env      *sim.Env
+	net      *netsim.Net
+	params   Params
+	handlers map[serviceKey]Handler
+	stats    map[string]*ServiceStats
+}
+
+type serviceKey struct {
+	node    int
+	service string
+}
+
+// NewLayer returns a messaging layer over the given fabric.
+func NewLayer(env *sim.Env, net *netsim.Net, p Params) *Layer {
+	return &Layer{
+		env:      env,
+		net:      net,
+		params:   p,
+		handlers: make(map[serviceKey]Handler),
+		stats:    make(map[string]*ServiceStats),
+	}
+}
+
+// Handle registers the handler for a service on a node, replacing any
+// previous registration.
+func (l *Layer) Handle(node int, service string, h Handler) {
+	l.handlers[serviceKey{node, service}] = h
+}
+
+// Send delivers a one-way message. The destination service must be
+// registered by delivery time; unrouteable messages panic, since a lost
+// hypervisor message is a protocol bug, not a recoverable condition.
+func (l *Layer) Send(from, to int, service, kind string, size int, payload any) {
+	m := &Message{From: from, To: to, Service: service, Kind: kind, Size: size, Payload: payload, layer: l}
+	l.deliver(m, nil)
+}
+
+// Call delivers a request and blocks the process until the handler replies.
+// It returns the reply message.
+func (l *Layer) Call(p *sim.Proc, from, to int, service, kind string, size int, payload any) *Message {
+	m := &Message{From: from, To: to, Service: service, Kind: kind, Size: size, Payload: payload, layer: l}
+	m.replyEv = l.env.NewEvent()
+	l.deliver(m, nil)
+	p.Wait(m.replyEv)
+	return m.reply
+}
+
+// deliver routes a message through the fabric (or locally) and invokes the
+// destination handler after the receive-side processing cost. For replies,
+// onDelivered fires instead of a handler lookup.
+func (l *Layer) deliver(m *Message, onDelivered func()) {
+	st, ok := l.stats[m.Service]
+	if !ok {
+		st = &ServiceStats{}
+		l.stats[m.Service] = st
+	}
+	st.Messages++
+	st.Bytes += int64(m.Size)
+
+	handle := func() {
+		if onDelivered != nil {
+			onDelivered()
+			return
+		}
+		h, ok := l.handlers[serviceKey{m.To, m.Service}]
+		if !ok {
+			panic(fmt.Sprintf("msg: no handler for %s on node %d (kind %s)", m.Service, m.To, m.Kind))
+		}
+		h(m)
+	}
+	receive := func() { l.env.After(l.params.HandlerLat, handle) }
+
+	if m.From == m.To {
+		// Same-node messages short-circuit the fabric but still pay the
+		// handler demultiplexing cost.
+		l.env.After(0, receive)
+		return
+	}
+	l.net.Send(m.From, m.To, m.Size+l.params.HeaderBytes, receive)
+}
+
+// Stats returns the traffic counters for a service (zeroes if unused).
+func (l *Layer) Stats(service string) ServiceStats {
+	if st, ok := l.stats[service]; ok {
+		return *st
+	}
+	return ServiceStats{}
+}
+
+// Net returns the underlying fabric.
+func (l *Layer) Net() *netsim.Net { return l.net }
+
+// Env returns the simulation environment.
+func (l *Layer) Env() *sim.Env { return l.env }
+
+// Params returns the layer's cost parameters.
+func (l *Layer) Params() Params { return l.params }

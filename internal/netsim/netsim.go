@@ -1,0 +1,123 @@
+// Package netsim models the cluster interconnects as store-and-forward
+// message fabrics with per-endpoint egress serialization.
+//
+// A Net connects integer-addressed endpoints (cluster nodes, plus external
+// hosts such as load generators). Sending a message occupies the sender's
+// NIC for size/bandwidth seconds (FIFO — concurrent sends from one endpoint
+// queue behind each other), then the message propagates for the fabric's
+// one-way latency and is delivered via a callback at the receiver.
+//
+// Two instances model the paper's testbed: a 56 Gbps InfiniBand fabric
+// between hypervisor instances and a 1 Gbps Ethernet network toward
+// clients/load generators.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Net is a message fabric. Construct with New.
+type Net struct {
+	env     *sim.Env
+	name    string
+	latency sim.Time
+	bps     float64 // bytes per second
+	nics    map[int]*nic
+	stats   Stats
+}
+
+// nic tracks when an endpoint's egress link is next free.
+type nic struct {
+	nextFree sim.Time
+	sent     int64
+	bytes    int64
+}
+
+// Stats aggregates fabric-wide traffic counters.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// New returns a fabric with the given one-way latency and bandwidth in
+// gigabits per second.
+func New(env *sim.Env, name string, latency sim.Time, gbps float64) *Net {
+	if gbps <= 0 {
+		panic(fmt.Sprintf("netsim: bandwidth %vGbps must be positive", gbps))
+	}
+	if latency < 0 {
+		panic("netsim: negative latency")
+	}
+	return &Net{
+		env:     env,
+		name:    name,
+		latency: latency,
+		bps:     gbps * 1e9 / 8,
+		nics:    make(map[int]*nic),
+	}
+}
+
+// Name returns the fabric's diagnostic name.
+func (n *Net) Name() string { return n.name }
+
+// Latency returns the fabric's one-way propagation latency.
+func (n *Net) Latency() sim.Time { return n.latency }
+
+// TxTime returns the serialization time for a message of the given size.
+func (n *Net) TxTime(size int) sim.Time {
+	if size < 0 {
+		panic("netsim: negative message size")
+	}
+	return sim.FromSeconds(float64(size) / n.bps)
+}
+
+// Send transmits size bytes from one endpoint to another and invokes
+// deliver at the receiver once the message arrives. deliver may be nil for
+// fire-and-forget accounting. Send returns the delivery time.
+func (n *Net) Send(from, to int, size int, deliver func()) sim.Time {
+	now := n.env.Now()
+	egress := n.nic(from)
+	start := egress.nextFree
+	if start < now {
+		start = now
+	}
+	done := start + n.TxTime(size)
+	egress.nextFree = done
+	egress.sent++
+	egress.bytes += int64(size)
+	n.stats.Messages++
+	n.stats.Bytes += int64(size)
+	arrive := done + n.latency
+	if deliver != nil {
+		n.env.At(arrive, deliver)
+	}
+	return arrive
+}
+
+// SendAndWait transmits like Send but blocks the calling process until the
+// message has been delivered.
+func (n *Net) SendAndWait(p *sim.Proc, from, to int, size int) {
+	ev := n.env.NewEvent()
+	n.Send(from, to, size, ev.Fire)
+	p.Wait(ev)
+}
+
+// Stats returns a copy of the fabric-wide counters.
+func (n *Net) Stats() Stats { return n.stats }
+
+// EndpointSent returns the number of messages and bytes sent by an endpoint.
+func (n *Net) EndpointSent(id int) (msgs, bytes int64) {
+	e := n.nic(id)
+	return e.sent, e.bytes
+}
+
+func (n *Net) nic(id int) *nic {
+	e, ok := n.nics[id]
+	if !ok {
+		e = &nic{}
+		n.nics[id] = e
+	}
+	return e
+}

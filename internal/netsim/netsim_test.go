@@ -1,0 +1,107 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTxTime(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, "ib", 1500*sim.Nanosecond, 56) // 56 Gbps = 7e9 B/s
+	got := n.TxTime(7000)
+	want := sim.Microsecond // 7000 B / 7e9 B/s = 1 us
+	if got != want {
+		t.Fatalf("TxTime(7000) = %v, want %v", got, want)
+	}
+}
+
+func TestSendDelivery(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, "ib", 1000*sim.Nanosecond, 8) // 1e9 B/s
+	var delivered sim.Time
+	n.Send(0, 1, 1000, func() { delivered = env.Now() })
+	env.Run()
+	// 1000 B / 1e9 B/s = 1 us serialization + 1 us latency.
+	if want := 2 * sim.Microsecond; delivered != want {
+		t.Fatalf("delivered at %v, want %v", delivered, want)
+	}
+}
+
+func TestEgressSerialization(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, "ib", 0, 8) // 1e9 B/s, zero latency isolates the NIC
+	var first, second sim.Time
+	n.Send(0, 1, 1000, func() { first = env.Now() })
+	n.Send(0, 2, 1000, func() { second = env.Now() })
+	env.Run()
+	if first != sim.Microsecond {
+		t.Fatalf("first delivery at %v", first)
+	}
+	// Second message queues behind the first on node 0's NIC.
+	if second != 2*sim.Microsecond {
+		t.Fatalf("second delivery at %v, want 2us", second)
+	}
+}
+
+func TestIndependentEgress(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, "ib", 0, 8)
+	var a, b sim.Time
+	n.Send(0, 2, 1000, func() { a = env.Now() })
+	n.Send(1, 2, 1000, func() { b = env.Now() })
+	env.Run()
+	// Different senders do not serialize against each other.
+	if a != sim.Microsecond || b != sim.Microsecond {
+		t.Fatalf("deliveries at %v and %v, want both 1us", a, b)
+	}
+}
+
+func TestSendAndWait(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, "eth", 100*sim.Microsecond, 1)
+	var done sim.Time
+	env.Spawn("sender", func(p *sim.Proc) {
+		n.SendAndWait(p, 0, 1, 125000) // 125 kB at 125e6 B/s = 1 ms
+		done = p.Now()
+	})
+	env.Run()
+	if want := sim.Millisecond + 100*sim.Microsecond; done != want {
+		t.Fatalf("SendAndWait returned at %v, want %v", done, want)
+	}
+}
+
+func TestStats(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, "ib", 0, 56)
+	n.Send(0, 1, 100, nil)
+	n.Send(0, 1, 200, nil)
+	n.Send(1, 0, 50, nil)
+	env.Run()
+	s := n.Stats()
+	if s.Messages != 3 || s.Bytes != 350 {
+		t.Fatalf("stats = %+v", s)
+	}
+	msgs, bytes := n.EndpointSent(0)
+	if msgs != 2 || bytes != 300 {
+		t.Fatalf("endpoint 0 sent %d msgs %d bytes", msgs, bytes)
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	env := sim.NewEnv()
+	for _, fn := range []func(){
+		func() { New(env, "x", 0, 0) },
+		func() { New(env, "x", -1, 1) },
+		func() { New(env, "x", 0, 1).TxTime(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

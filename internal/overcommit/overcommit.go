@@ -1,0 +1,47 @@
+// Package overcommit configures the paper's main baseline: a conventional
+// single-node VM whose vCPUs are overcommitted onto fewer pCPUs (§7.2).
+//
+// Overcommitment is what a provider does today to pack more jobs onto a
+// saturated but fragmented cluster without evicting anyone: the VM gets
+// all the vCPUs it asked for, but they time-share k physical cores. There
+// is no DSM, no delegation, and no fabric traffic — just processor
+// sharing. The paper normalizes most results against this baseline with
+// k = 1, 2, and 3.
+package overcommit
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/dsm"
+	"repro/internal/guest"
+	"repro/internal/hypervisor"
+	"repro/internal/sim"
+	"repro/internal/vcpu"
+	"repro/internal/virtio"
+)
+
+// Config returns a single-node VM with nVCPU vCPUs packed onto k pCPUs of
+// the given node. The guest is the same optimized kernel FragVisor uses,
+// so the comparison isolates distribution, not guest patches.
+func Config(c *cluster.Cluster, node, k, nVCPU int, memBytes int64) hypervisor.Config {
+	return hypervisor.Config{
+		Name:       "overcommit",
+		Cluster:    c,
+		Placement:  hypervisor.PackedPlacement(node, k, nVCPU),
+		MemBytes:   memBytes,
+		Guest:      guest.OptimizedConfig(),
+		DSM:        dsm.DefaultParams(),
+		VCPU:       vcpu.DefaultParams(),
+		Virtio:     virtio.DefaultParams(),
+		Multiqueue: true,
+		DSMBypass:  false,
+		NetOwner:   -1,
+		BlkOwner:   -1,
+		Mobility:   true,
+		BootCost:   sim.Millisecond,
+	}
+}
+
+// New assembles an overcommitted VM: nVCPU vCPUs on k pCPUs of one node.
+func New(c *cluster.Cluster, node, k, nVCPU int, memBytes int64) *hypervisor.VM {
+	return hypervisor.New(Config(c, node, k, nVCPU, memBytes))
+}

@@ -1,0 +1,60 @@
+package overcommit
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/vcpu"
+)
+
+func TestProfileShape(t *testing.T) {
+	env := sim.NewEnv()
+	c := cluster.NewDefault(env, 1)
+	vm := New(c, 0, 2, 4, 4<<30)
+	if got := len(vm.Nodes()); got != 1 {
+		t.Fatalf("overcommit VM spans %d nodes", got)
+	}
+	if vm.NVCPU() != 4 {
+		t.Fatalf("NVCPU = %d", vm.NVCPU())
+	}
+	// 4 vCPUs on 2 pCPUs: pairs share a pCPU.
+	if vm.VCPUs.VCPU(0).PCPU() != vm.VCPUs.VCPU(2).PCPU() {
+		t.Fatal("vCPU 0 and 2 should share a pCPU")
+	}
+	if vm.VCPUs.VCPU(0).PCPU() == vm.VCPUs.VCPU(1).PCPU() {
+		t.Fatal("vCPU 0 and 1 should use different pCPUs")
+	}
+}
+
+func TestNoDSMTraffic(t *testing.T) {
+	env := sim.NewEnv()
+	c := cluster.NewDefault(env, 1)
+	vm := New(c, 0, 1, 4, 4<<30)
+	for i := 0; i < 4; i++ {
+		vm.Run(i, "job", func(ctx *vcpu.Ctx) {
+			vm.Kernel.Alloc(ctx.P, ctx.Node(), ctx.ID(), 1<<20)
+			ctx.Compute(sim.Millisecond)
+		})
+	}
+	env.Run()
+	if msgs := c.Fabric.Stats().Messages; msgs != 0 {
+		t.Fatalf("single-node VM sent %d fabric messages", msgs)
+	}
+}
+
+func TestTimeSharingSlowdown(t *testing.T) {
+	elapsed := func(k int) sim.Time {
+		env := sim.NewEnv()
+		c := cluster.NewDefault(env, 1)
+		vm := New(c, 0, k, 4, 4<<30)
+		for i := 0; i < 4; i++ {
+			vm.Run(i, "job", func(ctx *vcpu.Ctx) { ctx.Compute(10 * sim.Millisecond) })
+		}
+		env.Run()
+		return env.Now()
+	}
+	if t1, t4 := elapsed(1), elapsed(4); t1 < 3*t4 {
+		t.Fatalf("1-pCPU run (%v) not ~4x the 4-pCPU run (%v)", t1, t4)
+	}
+}

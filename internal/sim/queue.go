@@ -1,0 +1,64 @@
+package sim
+
+// Queue is an unbounded FIFO queue connecting simulated processes, with the
+// semantics of an infinite-capacity channel: Put never blocks, Get blocks
+// the calling process until an item is available. Items are delivered in
+// insertion order; waiting processes are served in arrival order.
+//
+// Construct with NewQueue.
+type Queue[T any] struct {
+	env     *Env
+	items   []T
+	waiters []*Proc
+}
+
+// NewQueue returns an empty queue bound to the environment.
+func NewQueue[T any](e *Env) *Queue[T] {
+	return &Queue[T]{env: e}
+}
+
+// Put appends v and wakes one waiting process, if any. Put is safe to call
+// from process code and from event callbacks alike.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		next := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.env.After(0, func() { q.env.dispatch(next) })
+	}
+}
+
+// Get removes and returns the oldest item, blocking the process while the
+// queue is empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.park()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	// If items remain and more processes are waiting, keep the wake-up
+	// chain going: each Put wakes one waiter, but a waiter that was parked
+	// before multiple Puts may leave items for its peers.
+	if len(q.items) > 0 && len(q.waiters) > 0 {
+		next := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.env.After(0, func() { q.env.dispatch(next) })
+	}
+	return v
+}
+
+// TryGet removes and returns the oldest item without blocking. The second
+// result reports whether an item was available.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

@@ -1,0 +1,372 @@
+// Package sim provides a deterministic discrete-event simulation core.
+//
+// The package models virtual time as nanoseconds and executes events from a
+// priority queue ordered by (time, insertion sequence), which makes every
+// simulation run bit-identical for a given seed. Simulated activities are
+// written as ordinary sequential Go functions running in "processes"
+// (see Proc); the scheduler admits exactly one process at a time, so process
+// code never races even though each process is backed by a goroutine.
+//
+// The primitives offered are the classic discrete-event toolkit:
+//
+//   - Env: the event loop and virtual clock.
+//   - Proc: a coroutine that can Sleep, Wait on events, and use resources.
+//   - Event: a one-shot broadcast signal.
+//   - Queue: an unbounded FIFO with blocking Get.
+//   - Mutex: a FIFO-fair lock for processes.
+//   - PS: a processor-sharing resource modeling a CPU core.
+//
+// All the distributed-hypervisor machinery in this repository (network
+// fabric, DSM protocol, vCPUs, virtio devices, schedulers) is built on these
+// primitives.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+// It doubles as a duration type; the arithmetic reads naturally either way.
+type Time int64
+
+// Common duration units, usable as multipliers (e.g. 5*sim.Microsecond).
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// FromSeconds converts a floating-point number of seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time with a unit chosen for readability.
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4fs", float64(t)/float64(Second))
+	}
+}
+
+// Timer is a scheduled callback. It can be cancelled before it fires.
+type Timer struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+// Cancel prevents the timer's callback from running. Cancelling an
+// already-fired or already-cancelled timer is a no-op.
+func (t *Timer) Cancel() { t.cancelled = true }
+
+// eventHeap is a binary heap of timers ordered by (time, sequence).
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Timer)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// Env is a simulation environment: a virtual clock plus the pending-event
+// queue. The zero value is not usable; construct with NewEnv.
+type Env struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	yield   chan struct{}
+	current *Proc
+	procErr any
+	stopped bool
+	spawned int
+}
+
+// NewEnv returns an empty simulation environment at time zero.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// At schedules fn to run at absolute virtual time t, which must not be in
+// the past. The returned Timer may be used to cancel the callback.
+func (e *Env) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%v) is in the past (now %v)", t, e.now))
+	}
+	tm := &Timer{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, tm)
+	return tm
+}
+
+// After schedules fn to run d nanoseconds from now. Negative delays panic.
+func (e *Env) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After(%v) with negative delay", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// are kept; a subsequent Run resumes the simulation.
+func (e *Env) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue is empty or Stop is called.
+// If any process panics, Run re-panics with the process's stack trace.
+func (e *Env) Run() { e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to deadline if the simulation got that far. Events after the deadline stay
+// queued.
+func (e *Env) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > deadline {
+			e.now = deadline
+			return
+		}
+		heap.Pop(&e.events)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.at
+		next.fn()
+		if e.procErr != nil {
+			err := e.procErr
+			e.procErr = nil
+			panic(err)
+		}
+	}
+	if !e.stopped && deadline < Time(1<<62-1) && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Spawn creates a process executing fn and schedules it to start at the
+// current virtual time. The name appears in diagnostics.
+func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		env:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		fn:     fn,
+	}
+	p.done = e.NewEvent()
+	e.spawned++
+	e.After(0, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch hands control of the event loop to p until p parks or finishes.
+func (e *Env) dispatch(p *Proc) {
+	if p.finished {
+		panic(fmt.Sprintf("sim: dispatch of finished proc %q", p.name))
+	}
+	if !p.started {
+		p.started = true
+		go p.main()
+	}
+	prev := e.current
+	e.current = p
+	p.resume <- struct{}{}
+	<-e.yield
+	e.current = prev
+}
+
+// Proc is a simulated process: a coroutine whose blocking operations
+// (Sleep, Wait, Queue.Get, Mutex.Lock, PS.Consume) advance virtual time
+// instead of wall-clock time. Procs are created with Env.Spawn.
+type Proc struct {
+	env      *Env
+	name     string
+	resume   chan struct{}
+	fn       func(*Proc)
+	done     *Event
+	started  bool
+	finished bool
+}
+
+// Name returns the diagnostic name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Done returns an event fired when the process function returns.
+func (p *Proc) Done() *Event { return p.done }
+
+func (p *Proc) main() {
+	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			p.env.procErr = fmt.Errorf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack())
+		}
+		p.finished = true
+		if !p.done.Fired() {
+			p.done.Fire()
+		}
+		p.env.yield <- struct{}{}
+	}()
+	p.fn(p)
+}
+
+// park returns control to the event loop until the proc is re-dispatched.
+func (p *Proc) park() {
+	if p.env.current != p {
+		panic(fmt.Sprintf("sim: proc %q parking while not current", p.name))
+	}
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d nanoseconds of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Sleep(%v) with negative duration", d))
+	}
+	if d == 0 {
+		return
+	}
+	p.env.After(d, func() { p.env.dispatch(p) })
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting other events
+// at the same timestamp run first.
+func (p *Proc) Yield() {
+	p.env.After(0, func() { p.env.dispatch(p) })
+	p.park()
+}
+
+// Wait suspends the process until ev fires. If ev already fired, Wait
+// returns immediately.
+func (p *Proc) Wait(ev *Event) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.park()
+}
+
+// WaitAll suspends the process until every event in evs has fired.
+func (p *Proc) WaitAll(evs ...*Event) {
+	for _, ev := range evs {
+		p.Wait(ev)
+	}
+}
+
+// Event is a one-shot broadcast signal. Construct with Env.NewEvent. Firing
+// wakes all waiting processes (in wait order) and runs registered callbacks.
+type Event struct {
+	env     *Env
+	fired   bool
+	waiters []*Proc
+	cbs     []func()
+}
+
+// NewEvent returns an unfired event bound to the environment.
+func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// Fired reports whether the event has been fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire triggers the event. Firing twice panics: one-shot events firing more
+// than once almost always indicate a protocol bug in the caller.
+func (ev *Event) Fire() {
+	if ev.fired {
+		panic("sim: event fired twice")
+	}
+	ev.fired = true
+	for _, w := range ev.waiters {
+		w := w
+		ev.env.After(0, func() { ev.env.dispatch(w) })
+	}
+	ev.waiters = nil
+	for _, cb := range ev.cbs {
+		cb := cb
+		ev.env.After(0, cb)
+	}
+	ev.cbs = nil
+}
+
+// OnFire registers fn to run (as an event-loop callback) when the event
+// fires. If the event already fired, fn is scheduled immediately.
+func (ev *Event) OnFire(fn func()) {
+	if ev.fired {
+		ev.env.After(0, fn)
+		return
+	}
+	ev.cbs = append(ev.cbs, fn)
+}
+
+// Mutex is a FIFO-fair lock for processes. The zero value is not usable;
+// construct with NewMutex.
+type Mutex struct {
+	env     *Env
+	locked  bool
+	waiters []*Proc
+}
+
+// NewMutex returns an unlocked mutex bound to the environment.
+func (e *Env) NewMutex() *Mutex { return &Mutex{env: e} }
+
+// Lock acquires the mutex, blocking the process in FIFO order.
+func (m *Mutex) Lock(p *Proc) {
+	if !m.locked {
+		m.locked = true
+		return
+	}
+	m.waiters = append(m.waiters, p)
+	p.park()
+	// Ownership was transferred to us by Unlock; m.locked stays true.
+}
+
+// Unlock releases the mutex, handing it to the longest-waiting process if
+// any. Unlocking an unlocked mutex panics.
+func (m *Mutex) Unlock() {
+	if !m.locked {
+		panic("sim: unlock of unlocked mutex")
+	}
+	if len(m.waiters) == 0 {
+		m.locked = false
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	m.env.After(0, func() { m.env.dispatch(next) })
+}
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.locked }

@@ -1,0 +1,270 @@
+// Package vcpu implements FragVisor's distributed virtual CPUs.
+//
+// Each vCPU of an Aggregate VM runs as a thread of the hypervisor instance
+// hosting its slice, pinned to one pCPU. vCPUs carry private state
+// (registers, local APIC, timer) that needs no cross-node consistency, plus
+// a replicated location table mapping every vCPU to its current node —
+// the structure that lets any slice route IPIs and interrupts.
+//
+// The package provides the three distributed-vCPU mechanisms of the paper:
+//
+//   - IPI forwarding: inter-processor interrupts to a remote vCPU become
+//     messages to the hypervisor instance hosting it (§5.2).
+//   - Live vCPU migration: register dump, state transfer, re-pin on the
+//     destination pCPU, and a location-table update broadcast (§6.2) —
+//     the mobility mechanism that distinguishes a resource-borrowing
+//     hypervisor from earlier distributed VMs.
+//   - Execution contexts: workload code computes on whatever pCPU the
+//     vCPU is currently pinned to, so overcommitment and consolidation
+//     fall out of pCPU sharing.
+package vcpu
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// Params is the distributed-vCPU cost model.
+type Params struct {
+	// IPILocal is the cost of an IPI between vCPUs on the same node.
+	IPILocal sim.Time
+	// RemoteWakeup is the destination-side latency from a cross-node
+	// IPI's arrival to the target vCPU actually running the woken task:
+	// interrupt injection into a halted vCPU, the VM entry, and the
+	// guest scheduler picking the task up. FragVisor pays this on every
+	// cross-slice wakeup; GiantVM's polling helper threads hide most of
+	// it (its vCPUs never halt), which is why the paper finds GiantVM's
+	// remote vCPU communication faster for short LEMP requests (§7.2).
+	RemoteWakeup sim.Time
+	// RegDump is the time to dump registers and FPU state at migration
+	// start (the paper measures 38 us).
+	RegDump sim.Time
+	// Restore is the destination-side cost to rebuild the vCPU thread,
+	// re-pin it, and resume execution.
+	Restore sim.Time
+	// StateBytes is the migrated vCPU state size on the wire.
+	StateBytes int
+	// LocUpdateBytes is the size of a location-table update message.
+	LocUpdateBytes int
+	// CPUEfficiency scales guest compute throughput: 1.0 runs at native
+	// speed. GiantVM's QEMU-based virtualization (extra exits, emulated
+	// paths, userspace I/O threads on the vCPU's core) costs a flat tax
+	// that the paper observes as FragVisor's ~1.5x advantage even on
+	// pure-compute NPB kernels (Fig 9).
+	CPUEfficiency float64
+}
+
+// DefaultParams matches the paper's measured migration latency of ~86 us
+// average, of which 38 us is the register dump.
+func DefaultParams() Params {
+	return Params{
+		IPILocal:       200 * sim.Nanosecond,
+		RemoteWakeup:   800 * sim.Microsecond,
+		RegDump:        38 * sim.Microsecond,
+		Restore:        40 * sim.Microsecond,
+		StateBytes:     16 << 10,
+		LocUpdateBytes: 16,
+		CPUEfficiency:  1.0,
+	}
+}
+
+// GiantVMParams returns the baseline's vCPU cost model: its QEMU helper
+// threads poll for cross-node events, so remote wakeups land almost
+// immediately.
+func GiantVMParams() Params {
+	p := DefaultParams()
+	p.RemoteWakeup = 15 * sim.Microsecond
+	p.CPUEfficiency = 0.68
+	return p
+}
+
+// VCPU is one virtual CPU of an Aggregate VM.
+type VCPU struct {
+	id   int
+	node int
+	pcpu *sim.PS
+}
+
+// ID returns the vCPU index within the VM.
+func (v *VCPU) ID() int { return v.id }
+
+// Node returns the node currently hosting the vCPU.
+func (v *VCPU) Node() int { return v.node }
+
+// PCPU returns the physical CPU the vCPU is pinned to.
+func (v *VCPU) PCPU() *sim.PS { return v.pcpu }
+
+// Manager is the distributed vCPU service of one Aggregate VM. Construct
+// with NewManager.
+type Manager struct {
+	env     *sim.Env
+	layer   *msg.Layer
+	service string
+	params  Params
+	vcpus   []*VCPU
+	nodes   []int
+
+	migrations    int64
+	migrationTime sim.Time
+}
+
+var managerInstances int
+
+// NewManager creates the vCPU set. placement[i] is the node hosting vCPU i;
+// pcpus[i] is the pCPU it is pinned to (several vCPUs may share one pCPU —
+// that is overcommitment). nodes lists every slice of the VM for location
+// broadcasts.
+func NewManager(env *sim.Env, layer *msg.Layer, nodes []int, placement []int, pcpus []*sim.PS, p Params) *Manager {
+	if len(placement) == 0 || len(placement) != len(pcpus) {
+		panic("vcpu: placement and pcpus must be equal-length and non-empty")
+	}
+	managerInstances++
+	m := &Manager{
+		env:     env,
+		layer:   layer,
+		service: fmt.Sprintf("vcpu%d", managerInstances),
+		params:  p,
+		nodes:   append([]int(nil), nodes...),
+	}
+	for i := range placement {
+		m.vcpus = append(m.vcpus, &VCPU{id: i, node: placement[i], pcpu: pcpus[i]})
+	}
+	for _, n := range nodes {
+		layer.Handle(n, m.service, m.handle)
+	}
+	return m
+}
+
+// N returns the number of vCPUs.
+func (m *Manager) N() int { return len(m.vcpus) }
+
+// VCPU returns vCPU i.
+func (m *Manager) VCPU(i int) *VCPU {
+	if i < 0 || i >= len(m.vcpus) {
+		panic(fmt.Sprintf("vcpu: index %d out of range [0,%d)", i, len(m.vcpus)))
+	}
+	return m.vcpus[i]
+}
+
+// NodeOf implements guest.Notifier: the location-table lookup.
+func (m *Manager) NodeOf(vcpu int) int { return m.VCPU(vcpu).node }
+
+// Wakeup implements guest.Notifier: an IPI that invokes deliver when it
+// reaches the vCPU's node.
+func (m *Manager) Wakeup(p *sim.Proc, fromNode, toVCPU int, deliver func()) {
+	m.IPI(p, fromNode, toVCPU, deliver)
+}
+
+// IPI sends an inter-processor interrupt to a vCPU. Same-node IPIs cost
+// only local APIC delivery; cross-node IPIs become fabric messages routed
+// by the location table (§5.2). deliver runs at the destination node when
+// the interrupt lands; it may be nil.
+func (m *Manager) IPI(p *sim.Proc, fromNode, toVCPU int, deliver func()) {
+	dest := m.VCPU(toVCPU).node
+	if dest == fromNode {
+		p.Sleep(m.params.IPILocal)
+		if deliver != nil {
+			m.env.After(0, deliver)
+		}
+		return
+	}
+	m.layer.Send(fromNode, dest, m.service, "ipi", m.params.LocUpdateBytes, deliver)
+}
+
+// handle processes vCPU-service messages at a slice.
+func (m *Manager) handle(msg *msg.Message) {
+	switch msg.Kind {
+	case "ipi":
+		if msg.Payload != nil {
+			if deliver, ok := msg.Payload.(func()); ok && deliver != nil {
+				// Injection into a (possibly halted) vCPU plus guest
+				// scheduling delay before the woken task runs.
+				m.env.After(m.params.RemoteWakeup, deliver)
+			}
+		}
+	case "migrate":
+		// Destination-side admission of a migrating vCPU: rebuild the
+		// thread and ack. The Restore cost is charged before the ack so
+		// the source observes the full handoff latency.
+		m.env.After(m.params.Restore, func() {
+			msg.Reply(m.params.LocUpdateBytes, nil)
+		})
+	case "locupdate":
+		// Replicated location tables are canonical in the model; the
+		// message exists for its traffic cost.
+	default:
+		panic(fmt.Sprintf("vcpu: unknown message kind %q", msg.Kind))
+	}
+}
+
+// Migrate moves a vCPU to a node and pCPU: dump registers, ship state,
+// restore at the destination, broadcast the new location to every other
+// slice (§6.2). It returns the migration latency. Same-node calls just
+// re-pin the vCPU at no cost.
+func (m *Manager) Migrate(p *sim.Proc, vcpuID, destNode int, destPCPU *sim.PS) sim.Time {
+	v := m.VCPU(vcpuID)
+	if destPCPU == nil {
+		panic("vcpu: Migrate needs a destination pCPU")
+	}
+	if v.node == destNode {
+		v.pcpu = destPCPU
+		return 0
+	}
+	start := p.Now()
+	src := v.node
+	p.Sleep(m.params.RegDump)
+	m.layer.Call(p, src, destNode, m.service, "migrate", m.params.StateBytes, vcpuID)
+	v.node = destNode
+	v.pcpu = destPCPU
+	for _, n := range m.nodes {
+		if n != src && n != destNode {
+			m.layer.Send(destNode, n, m.service, "locupdate", m.params.LocUpdateBytes, vcpuID)
+		}
+	}
+	d := p.Now() - start
+	m.migrations++
+	m.migrationTime += d
+	return d
+}
+
+// Migrations returns the number of completed migrations and their mean
+// latency (zero if none).
+func (m *Manager) Migrations() (count int64, mean sim.Time) {
+	if m.migrations == 0 {
+		return 0, 0
+	}
+	return m.migrations, m.migrationTime / sim.Time(m.migrations)
+}
+
+// Ctx is a vCPU execution context handed to workload programs. All compute
+// is charged to the pCPU the vCPU is pinned to at the moment of the call,
+// so overcommitment slows programs down and migrations speed them up
+// without the workload knowing.
+type Ctx struct {
+	P *sim.Proc
+	M *Manager
+	V *VCPU
+}
+
+// NewCtx builds an execution context for a vCPU.
+func (m *Manager) NewCtx(p *sim.Proc, vcpuID int) *Ctx {
+	return &Ctx{P: p, M: m, V: m.VCPU(vcpuID)}
+}
+
+// Compute consumes d of CPU service at native speed (longer under pCPU
+// sharing or a CPUEfficiency below 1).
+func (c *Ctx) Compute(d sim.Time) {
+	eff := c.M.params.CPUEfficiency
+	if eff <= 0 {
+		eff = 1
+	}
+	c.V.pcpu.ConsumeTime(c.P, sim.Time(float64(d)/eff))
+}
+
+// Node returns the node currently hosting the context's vCPU.
+func (c *Ctx) Node() int { return c.V.node }
+
+// ID returns the vCPU id.
+func (c *Ctx) ID() int { return c.V.id }
