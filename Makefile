@@ -1,0 +1,31 @@
+# Development targets for the FragVisor reproduction. `make check` is the
+# pre-commit gate: formatting, vet, build, the full test suite under the
+# race detector, and a one-iteration benchmark smoke pass.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench-smoke
+
+check: fmt vet build race bench-smoke
+	@echo "check: all gates passed"
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: files need formatting:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

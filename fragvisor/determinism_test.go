@@ -1,0 +1,74 @@
+package fragvisor
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/faulttest"
+	"repro/internal/sim"
+)
+
+// TestExperimentsDeterministic is the determinism regression gate at the
+// public façade: running the same experiment twice with the same scale
+// and seed must render bit-identical tables. One experiment per layer of
+// the stack: a microbenchmark (fig4), the NPB macro suite (fig8), and
+// the consolidation policy (fig14).
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, name := range []string{"fig4", "fig8", "fig14"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := RunExperiment(name, 0.02, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunExperiment(name, 0.02, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.String() != b.String() {
+				t.Fatalf("%s diverged across identical runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+					name, a.String(), b.String())
+			}
+		})
+	}
+}
+
+// TestRecoveryExperimentDeterministic covers the fault path through the
+// same gate: the recovery experiment replays a crash schedule, so its
+// table folds detection latency, restore time, and fault counters into
+// the bit-identical contract.
+func TestRecoveryExperimentDeterministic(t *testing.T) {
+	a, err := RunExperiment("recovery", 0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunExperiment("recovery", 0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("recovery diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a.String(), b.String())
+	}
+}
+
+// TestFaultScheduleDeterministic replays a full random fault mix — drops,
+// duplicates, delays, a partition, and a lender crash with checkpoint
+// restart — twice, and requires the complete observable record (stats,
+// counters, recovery timeline) to be bit-identical.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	run := func() string {
+		sched := fault.Random(1234, fault.RandomOpts{
+			Nodes:      4,
+			Horizon:    20 * sim.Millisecond,
+			MsgFaults:  6,
+			DropRules:  true,
+			Partitions: 1,
+			Crashes:    1,
+		})
+		return faulttest.Run(faulttest.Scenario{Seed: 1234, Schedule: sched, Checkpoint: true}).Metrics()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("faulty run diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}

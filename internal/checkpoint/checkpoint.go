@@ -21,6 +21,7 @@ package checkpoint
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
@@ -72,11 +73,15 @@ func Take(p *sim.Proc, vm *hypervisor.VM, node int) *Image {
 
 	// Stage 2+3: per-slice collection pipelined into the disk writer.
 	disk := vm.Config().Cluster.Node(node).SSD
-	fabric := vm.Config().Cluster.Fabric
 	writeQ := sim.NewQueue[int64](env)
 	sources := 0
 	for _, n := range vm.DSM.Nodes() {
 		n := n
+		if !vm.Alive(n) {
+			// A dead slice cannot stream its pages; whatever it owned was
+			// re-homed by MarkDead and is collected from the new owners.
+			continue
+		}
 		owned := vm.DSM.OwnedBytes(n)
 		img.extents[n] = owned
 		img.Bytes += owned
@@ -93,9 +98,7 @@ func Take(p *sim.Proc, vm *hypervisor.VM, node int) *Image {
 				if chunk > chunkBytes {
 					chunk = chunkBytes
 				}
-				if n != node {
-					fabric.SendAndWait(cp, n, node, int(chunk))
-				}
+				sendChunk(cp, vm, n, node, int(chunk))
 				writeQ.Put(chunk)
 			}
 		})
@@ -124,19 +127,30 @@ func Take(p *sim.Proc, vm *hypervisor.VM, node int) *Image {
 func Restore(p *sim.Proc, vm *hypervisor.VM, img *Image) sim.Time {
 	start := p.Now()
 	disk := vm.Config().Cluster.Node(img.Node).SSD
-	fabric := vm.Config().Cluster.Fabric
 	env := vm.Env
 
 	disk.Transfer(p, int64(vm.NVCPU()*vm.Config().VCPU.StateBytes))
+	owners := make([]int, 0, len(img.extents))
+	for n := range img.extents {
+		owners = append(owners, n)
+	}
+	sort.Ints(owners) // deterministic spawn order
 	var waits []*sim.Event
-	for n, owned := range img.extents {
+	for _, n := range owners {
+		owned := img.extents[n]
 		if owned == 0 {
 			continue
 		}
-		n, owned := n, owned
+		// State owned by a slice that died since the checkpoint was taken
+		// is restored to the origin instead — the bootstrap slice backs
+		// re-homed memory after MarkDead.
+		dest := n
+		if !vm.Alive(n) {
+			dest = vm.DSM.Origin()
+		}
 		ev := env.NewEvent()
 		waits = append(waits, ev)
-		env.Spawn(fmt.Sprintf("ckpt-restore-%d", n), func(rp *sim.Proc) {
+		env.Spawn(fmt.Sprintf("ckpt-restore-%d", dest), func(rp *sim.Proc) {
 			defer ev.Fire()
 			for off := int64(0); off < owned; off += chunkBytes {
 				chunk := owned - off
@@ -144,18 +158,65 @@ func Restore(p *sim.Proc, vm *hypervisor.VM, img *Image) sim.Time {
 					chunk = chunkBytes
 				}
 				disk.Transfer(rp, chunk)
-				if n != img.Node {
-					fabric.SendAndWait(rp, img.Node, n, int(chunk))
-				}
+				dest = sendChunk(rp, vm, img.Node, dest, int(chunk))
 			}
 		})
 	}
 	p.WaitAll(waits...)
 
 	// Reinstall explicit page contents at the bootstrap slice (restart
-	// resumes with the origin owning restored pages, as after boot).
-	for pg, data := range img.pages {
-		vm.DSM.RestorePage(vm.DSM.Origin(), pg, data)
+	// resumes with the origin owning restored pages, as after boot), in
+	// deterministic page order.
+	restorePages := make([]mem.PageID, 0, len(img.pages))
+	for pg := range img.pages {
+		restorePages = append(restorePages, pg)
+	}
+	sort.Slice(restorePages, func(i, j int) bool { return restorePages[i] < restorePages[j] })
+	for _, pg := range restorePages {
+		vm.DSM.RestorePage(p, vm.DSM.Origin(), pg, img.pages[pg])
 	}
 	return p.Now() - start
+}
+
+// sendChunk moves one collection/restore chunk over the fabric like a
+// reliable transport (RDMA RC / TCP): a frame lost to a drop rule or a
+// transient partition is retransmitted after a timeout, and when a peer's
+// crash is torn down at the transport level the chunk is re-homed — a
+// dead destination falls back to the origin slice (mirroring MarkDead's
+// re-homing of the memory itself), while a dead source or a dead
+// checkpoint node simply stops transmitting, since the bytes it would
+// have carried are already lost or unwanted. Returns the destination the
+// chunk actually went to, so callers stick to the re-homed peer.
+func sendChunk(p *sim.Proc, vm *hypervisor.VM, from, to int, size int) int {
+	fabric := vm.Config().Cluster.Fabric
+	inj := vm.Config().Fault
+	env := vm.Env
+	rto := 2*fabric.Latency() + 8*fabric.TxTime(size) + 5*sim.Millisecond
+	backoff := 100 * sim.Microsecond
+	for {
+		if inj != nil {
+			if !inj.NodeAlive(to) {
+				if origin := vm.DSM.Origin(); to != origin {
+					to = origin
+					continue
+				}
+				return to // origin down: nobody left to deliver to
+			}
+			if !inj.NodeAlive(from) {
+				return to // dead source cannot transmit; data already lost
+			}
+		}
+		if from == to {
+			return to
+		}
+		ev := env.NewEvent()
+		fabric.Send(from, to, size, ev.Fire)
+		if p.WaitTimeout(ev, rto) {
+			return to
+		}
+		p.Sleep(backoff)
+		if backoff < 2*sim.Millisecond {
+			backoff *= 2
+		}
+	}
 }

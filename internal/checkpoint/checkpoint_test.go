@@ -27,7 +27,9 @@ func fragVM(nVCPU int, memBytes int64) *hypervisor.VM {
 func fillVM(vm *hypervisor.VM, datasetBytes int64) {
 	for i := 0; i < vm.NVCPU(); i++ {
 		vm.Run(i, "fill", func(ctx *vcpu.Ctx) {
-			vm.Kernel.Alloc(ctx.P, ctx.Node(), ctx.ID(), datasetBytes)
+			if _, err := vm.Kernel.Alloc(ctx.P, ctx.Node(), ctx.ID(), datasetBytes); err != nil {
+				panic(err)
+			}
 		})
 	}
 	vm.Env.Run()

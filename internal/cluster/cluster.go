@@ -111,6 +111,7 @@ type Disk struct {
 	bps      float64
 	nextFree sim.Time
 	bytes    int64
+	slowdown float64 // transfer-time multiplier; 0 means 1 (healthy)
 }
 
 // NewDisk returns a disk with the given sequential bandwidth.
@@ -119,6 +120,24 @@ func NewDisk(env *sim.Env, bps float64) *Disk {
 		panic("cluster: disk bandwidth must be positive")
 	}
 	return &Disk{env: env, bps: bps}
+}
+
+// SetSlowdown sets a transfer-time multiplier (>= 1) modelling a degraded
+// device — media errors under retry, a saturating neighbor, thermal
+// throttling. 1 restores full bandwidth. Used by fault injection.
+func (d *Disk) SetSlowdown(f float64) {
+	if f < 1 {
+		panic(fmt.Sprintf("cluster: disk slowdown %v must be >= 1", f))
+	}
+	d.slowdown = f
+}
+
+// Slowdown returns the current transfer-time multiplier.
+func (d *Disk) Slowdown() float64 {
+	if d.slowdown < 1 {
+		return 1
+	}
+	return d.slowdown
 }
 
 // Transfer blocks the process until n bytes have been read or written.
@@ -132,7 +151,7 @@ func (d *Disk) Transfer(p *sim.Proc, n int64) {
 	if start < now {
 		start = now
 	}
-	done := start + sim.FromSeconds(float64(n)/d.bps)
+	done := start + sim.Time(float64(sim.FromSeconds(float64(n)/d.bps))*d.Slowdown())
 	d.nextFree = done
 	d.bytes += n
 	p.Sleep(done - now)

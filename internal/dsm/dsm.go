@@ -94,6 +94,11 @@ type Params struct {
 	DirtyBitTracking bool
 	// ReqBytes is the wire size of a fault request message.
 	ReqBytes int
+	// Retry enables the fault-tolerant protocol paths (see fault.go):
+	// fault requests and grants are re-sent on timeout, and calls to
+	// replica holders give up once the fault view declares them dead. The
+	// zero value keeps the happy-path reliable-fabric protocol.
+	Retry msg.RetryPolicy
 }
 
 // DefaultParams returns FragVisor's kernel-space DSM costs.
@@ -129,6 +134,7 @@ type Stats struct {
 	BulkLocalPages   int64 // bulk pages first-touched locally
 	BulkRemotePages  int64 // bulk pages claimed or copied from a remote owner
 	BytesMoved       int64 // page payload bytes transferred on behalf of this node
+	Retries          int64 // protocol messages re-sent on timeout (fault mode)
 }
 
 // Faults returns the total protocol faults (read + write + dirty).
@@ -144,6 +150,7 @@ func (s *Stats) add(o Stats) {
 	s.BulkLocalPages += o.BulkLocalPages
 	s.BulkRemotePages += o.BulkRemotePages
 	s.BytesMoved += o.BytesMoved
+	s.Retries += o.Retries
 }
 
 // localPage is one node's replica of a guest page.
@@ -212,6 +219,9 @@ type DSM struct {
 
 	nextFault uint64
 	pending   map[uint64]*pendingFault
+	seen      map[uint64]bool // fault ids the directory has accepted
+	fv        FaultView
+	excluded  map[int]bool // nodes fenced out by MarkDead (see fault.go)
 }
 
 // dsmInstances distinguishes service names when several DSMs (several VMs)
@@ -239,6 +249,8 @@ func New(env *sim.Env, layer *msg.Layer, nodes []int, p Params) *DSM {
 		stats:      make(map[int]*Stats),
 		dirtyPage:  mem.PageID(1) << 40,
 		pending:    make(map[uint64]*pendingFault),
+		seen:       make(map[uint64]bool),
+		excluded:   make(map[int]bool),
 	}
 	dsmInstances++
 	d.service = fmt.Sprintf("dsm%d", dsmInstances)
@@ -357,6 +369,10 @@ func (d *DSM) contextualWrite(p *sim.Proc, node int, pg mem.PageID, off int, dat
 	if !d.params.ContextualPiggyback || !d.contextual[pg] {
 		return false
 	}
+	if !d.alive(node) {
+		// A crashed slice must not update survivors' replicas in place.
+		return true
+	}
 	st := d.mustStats(node)
 	st.ContextualWrites++
 	p.Sleep(d.params.ContextualWriteCost)
@@ -368,13 +384,18 @@ func (d *DSM) contextualWrite(p *sim.Proc, node int, pg mem.PageID, off int, dat
 			}
 		}
 	}
-	// Ensure the writer holds a copy so subsequent local reads hit.
+	// Ensure the writer holds a copy so subsequent local reads hit. Once
+	// a second node holds the page the owner's replica is no longer
+	// Exclusive — downgrade it, or the directory state lies.
 	lp := d.page(node, pg)
 	if lp.state == Invalid {
 		lp.state = Shared
 		e.copyset[node] = true
 		if data != nil {
 			copy(lp.data[off:], data)
+		}
+		if olp, ok := d.local[e.owner][pg]; ok && olp.state == Exclusive {
+			olp.state = Shared
 		}
 	}
 	return true
@@ -389,6 +410,11 @@ func (d *DSM) ensure(p *sim.Proc, node int, pg mem.PageID, write bool) *localPag
 		st.LocalHits++
 		return lp
 	}
+	if !d.alive(node) {
+		// A crashed slice's in-flight guest work is discarded at restart;
+		// its faults must not reach (or block on) the directory.
+		return lp
+	}
 	if write {
 		st.WriteFaults++
 	} else {
@@ -396,11 +422,26 @@ func (d *DSM) ensure(p *sim.Proc, node int, pg mem.PageID, write bool) *localPag
 	}
 	p.Sleep(d.params.FaultHandler + d.params.UserSpaceExtra)
 	d.nextFault++
+	id := d.nextFault
 	pf := &pendingFault{ev: d.env.NewEvent()}
-	d.pending[d.nextFault] = pf
-	d.layer.Send(node, d.origin, d.service+".dir", "fault",
-		d.params.ReqBytes, faultReq{id: d.nextFault, page: pg, node: node, write: write})
-	p.Wait(pf.ev)
+	d.pending[id] = pf
+	req := faultReq{id: id, page: pg, node: node, write: write}
+	d.layer.Send(node, d.origin, d.service+".dir", "fault", d.params.ReqBytes, req)
+	if d.params.Retry.Timeout <= 0 {
+		p.Wait(pf.ev)
+	} else {
+		// Re-send on timeout to cover request loss; the directory
+		// deduplicates ids and re-sends grants itself, so a retransmission
+		// can never double-apply.
+		for !p.WaitTimeout(pf.ev, d.params.Retry.Timeout) {
+			if !d.alive(node) {
+				delete(d.pending, id)
+				return lp
+			}
+			st.Retries++
+			d.layer.Send(node, d.origin, d.service+".dir", "fault", d.params.ReqBytes, req)
+		}
+	}
 	st.BytesMoved += pf.moved
 	if write && d.params.DirtyBitTracking && pg != d.dirtyPage {
 		// Hardware dirty-bit management writes the shared tracking
@@ -457,6 +498,12 @@ func (d *DSM) lock(pg mem.PageID) *sim.Mutex {
 // resurrected by a grant that was in flight when ownership moved on.
 func (d *DSM) handleDir(m *msg.Message) {
 	req := m.Payload.(faultReq)
+	if d.seen[req.id] {
+		// Retransmission (or fault-injected duplicate) of a request
+		// already accepted: the grant path owns reply delivery.
+		return
+	}
+	d.seen[req.id] = true
 	d.env.Spawn(fmt.Sprintf("%s.dir.%d", d.service, req.page), func(p *sim.Proc) {
 		lk := d.lock(req.page)
 		lk.Lock(p)
@@ -469,14 +516,17 @@ func (d *DSM) handleDir(m *msg.Message) {
 	})
 }
 
-// sendGrant delivers the grant to the requester and waits for its ack.
+// sendGrant delivers the grant to the requester and waits for its ack,
+// re-sending on timeout in fault mode. A requester that dies before
+// acknowledging leaves directory state pointing at it; MarkDead reconciles.
 func (d *DSM) sendGrant(p *sim.Proc, req faultReq, data []byte) {
 	size := d.params.ReqBytes
 	if data != nil {
 		size += mem.PageSize
 	}
-	d.layer.Call(p, d.origin, req.node, d.service+".own", "grant",
-		size, grantMsg{id: req.id, page: req.page, write: req.write, data: data})
+	g := grantMsg{id: req.id, page: req.page, write: req.write, data: data}
+	_, err := d.callNode(p, req.node, "grant", size, g)
+	_ = err // dead requester: give up; survivors proceed after MarkDead
 }
 
 // grantRead adds the requester to the page's copyset, fetching the bytes
@@ -496,10 +546,15 @@ func (d *DSM) grantRead(p *sim.Proc, req faultReq) {
 			lp.state = Shared
 		}
 		data = append([]byte(nil), lp.data...)
+	} else if !d.alive(e.owner) {
+		data = d.reclaim(e, req.page)
 	} else {
-		r := d.layer.Call(p, d.origin, e.owner, d.service+".own", "fetch",
-			d.params.ReqBytes, fetchReq{page: req.page})
-		data = r.Payload.([]byte)
+		r, err := d.callNode(p, e.owner, "fetch", d.params.ReqBytes, fetchReq{page: req.page})
+		if err != nil {
+			data = d.reclaim(e, req.page)
+		} else {
+			data = r.Payload.([]byte)
+		}
 	}
 	e.copyset[req.node] = true
 	d.sendGrant(p, req, data)
@@ -521,6 +576,14 @@ func (d *DSM) grantWrite(p *sim.Proc, req faultReq) {
 			continue
 		}
 		n := n
+		if n != d.origin && !d.alive(n) {
+			// A dead replica holder needs no invalidation; if it owned the
+			// only copy, fall back to the origin's (stale) replica.
+			if n == e.owner && !hasCopy {
+				data = append([]byte(nil), d.page(d.origin, req.page).data...)
+			}
+			continue
+		}
 		ev := d.env.NewEvent()
 		waits = append(waits, ev)
 		d.env.Spawn(fmt.Sprintf("%s.inv.%d", d.service, req.page), func(sub *sim.Proc) {
@@ -535,12 +598,18 @@ func (d *DSM) grantWrite(p *sim.Proc, req faultReq) {
 				return
 			}
 			if n == e.owner && !hasCopy {
-				r := d.layer.Call(sub, d.origin, n, d.service+".own", "invfetch",
+				r, err := d.callNode(sub, n, "invfetch",
 					d.params.ReqBytes, fetchReq{page: req.page, invalidate: true})
+				if err != nil {
+					data = append([]byte(nil), d.page(d.origin, req.page).data...)
+					return
+				}
 				data = r.Payload.([]byte)
 				return
 			}
-			d.layer.Call(sub, d.origin, n, d.service+".own", "inv",
+			// A holder that died mid-invalidation needs none: its replica
+			// is unreachable and MarkDead drops it from the copyset.
+			_, _ = d.callNode(sub, n, "inv",
 				d.params.ReqBytes, fetchReq{page: req.page, invalidate: true})
 		})
 	}
@@ -559,8 +628,14 @@ func (d *DSM) handleOwner(m *msg.Message) {
 	case "grant":
 		g := m.Payload.(grantMsg)
 		pf, ok := d.pending[g.id]
-		if !ok {
-			panic(fmt.Sprintf("dsm: grant for unknown fault %d", g.id))
+		if !ok || !d.alive(m.To) {
+			// Either a re-sent grant for an already-installed id (the ack
+			// was lost, or this is a fault-injected duplicate), or a grant
+			// reaching a node fenced out by MarkDead while the grant was
+			// in flight: acknowledge so the directory releases the page
+			// lock, but do not install — the directory state has moved on.
+			m.Reply(d.params.ReqBytes, nil)
+			return
 		}
 		delete(d.pending, g.id)
 		lp := d.page(m.To, g.page)

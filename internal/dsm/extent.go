@@ -149,6 +149,11 @@ func (d *DSM) TouchRange(p *sim.Proc, node int, start mem.PageID, pages int64, w
 	if pages == 0 {
 		return
 	}
+	if !d.alive(node) {
+		// A crashed slice's bulk accesses must not mutate the extent
+		// table out from under the survivors.
+		return
+	}
 	st := d.mustStats(node)
 	bit := d.bit(node)
 	perFault := d.params.FaultHandler + d.params.UserSpaceExtra
@@ -261,11 +266,16 @@ func (d *DSM) SnapshotOwned(node int) map[mem.PageID][]byte {
 
 // RestorePage administratively installs page contents at a node and makes
 // it the exclusive owner, invalidating every other replica. Used by
-// checkpoint restore; costs are charged by the caller.
-func (d *DSM) RestorePage(node int, pg mem.PageID, data []byte) {
+// checkpoint restore; costs are charged by the caller. The page lock is
+// taken so a restore during recovery serializes with any in-flight
+// directory grant on the same page.
+func (d *DSM) RestorePage(p *sim.Proc, node int, pg mem.PageID, data []byte) {
 	if len(data) > mem.PageSize {
 		panic("dsm: restore data larger than a page")
 	}
+	lk := d.lock(pg)
+	lk.Lock(p)
+	defer lk.Unlock()
 	e := d.entry(pg)
 	for n := range e.copyset {
 		if lp, ok := d.local[n][pg]; ok {

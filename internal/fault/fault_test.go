@@ -1,0 +1,172 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func TestScheduleShiftedOffsetsEveryEventAndCopies(t *testing.T) {
+	var s Schedule
+	s.Add(Event{At: 5 * sim.Millisecond, Kind: CrashNode, Node: 2})
+	s.Add(Event{At: 1 * sim.Millisecond, Kind: Partition, A: 0, B: 3})
+
+	shifted := s.Shifted(10 * sim.Millisecond)
+	if got := shifted.Events[0].At; got != 15*sim.Millisecond {
+		t.Errorf("shifted event 0 at %v, want 15ms", got)
+	}
+	if got := shifted.Events[1].At; got != 11*sim.Millisecond {
+		t.Errorf("shifted event 1 at %v, want 11ms", got)
+	}
+	// The original must be untouched: Shifted anchors a reusable
+	// workload-relative schedule without consuming it.
+	if got := s.Events[0].At; got != 5*sim.Millisecond {
+		t.Errorf("Shifted mutated the source schedule: %v", got)
+	}
+}
+
+func TestScheduleCount(t *testing.T) {
+	var s Schedule
+	s.Add(Event{At: 1, Kind: CrashNode, Node: 1})
+	s.Add(Event{At: 2, Kind: DropMessages, From: Any, To: Any, Count: 3})
+	s.Add(Event{At: 3, Kind: CrashNode, Node: 2})
+	if got := s.Count(CrashNode); got != 2 {
+		t.Errorf("Count(CrashNode) = %d, want 2", got)
+	}
+	if got := s.Count(HealNode); got != 0 {
+		t.Errorf("Count(HealNode) = %d, want 0", got)
+	}
+}
+
+func TestScheduleStringSortedByTime(t *testing.T) {
+	var s Schedule
+	s.Add(Event{At: 2 * sim.Millisecond, Kind: CrashNode, Node: 1})
+	s.Add(Event{At: 1 * sim.Millisecond, Kind: DelayMessages, From: Any, To: 0, Count: 2, Delay: 50 * sim.Microsecond})
+	want := "1.000ms delay *->0 count=2 delay=50.00us\n2.000ms crash node=1\n"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestRandomIsDeterministicAndBounded(t *testing.T) {
+	opts := RandomOpts{
+		Nodes:      4,
+		Horizon:    20 * sim.Millisecond,
+		MsgFaults:  8,
+		DropRules:  true,
+		Partitions: 2,
+		Degrades:   2,
+		Crashes:    2,
+	}
+	a := Random(99, opts)
+	b := Random(99, opts)
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different schedules:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if c := Random(100, opts); c.String() == a.String() {
+		t.Error("different seeds produced identical schedules")
+	}
+
+	if got := a.Count(CrashNode); got != 2 {
+		t.Errorf("crashes = %d, want 2", got)
+	}
+	if got := a.Count(Partition); got != 2 || a.Count(HealPartition) != 2 {
+		t.Errorf("partitions = %d/%d heals, want 2/2", got, a.Count(HealPartition))
+	}
+	if got := a.Count(DegradeCPU) + a.Count(DegradeDisk); got != 2 {
+		t.Errorf("degrades = %d, want 2", got)
+	}
+	msgFaults := a.Count(DropMessages) + a.Count(DelayMessages) + a.Count(DupMessages)
+	if msgFaults != 8 {
+		t.Errorf("message-fault rules = %d, want 8", msgFaults)
+	}
+	for _, e := range a.Events {
+		if e.At <= 0 || e.At > opts.Horizon {
+			t.Errorf("event %v outside (0, %v]", e, opts.Horizon)
+		}
+		if e.Kind == CrashNode && e.Node == 0 {
+			t.Error("Random crashed node 0: the bootstrap slice must survive")
+		}
+	}
+}
+
+func TestRandomWithoutDropRulesNeverDrops(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		s := Random(seed, RandomOpts{Nodes: 3, Horizon: sim.Millisecond, MsgFaults: 10})
+		if n := s.Count(DropMessages); n != 0 {
+			t.Fatalf("seed %d: %d drop rules without DropRules opt-in", seed, n)
+		}
+	}
+}
+
+func TestInjectorCrashAndRuleOutcomes(t *testing.T) {
+	env := sim.NewEnv()
+	c := cluster.NewDefault(env, 4)
+	inj := New(c)
+
+	var crashed []int
+	inj.OnCrash(func(n int) { crashed = append(crashed, n) })
+
+	var s Schedule
+	s.Add(Event{At: sim.Millisecond, Kind: CrashNode, Node: 2})
+	s.Add(Event{At: sim.Millisecond, Kind: Partition, A: 0, B: 3})
+	s.Add(Event{At: sim.Millisecond, Kind: DropMessages, From: 0, To: 1, Count: 2})
+	s.Add(Event{At: sim.Millisecond, Kind: DelayMessages, From: Any, To: 1, Count: 1, Delay: 100 * sim.Microsecond})
+	s.Add(Event{At: 2 * sim.Millisecond, Kind: HealPartition, A: 0, B: 3})
+	inj.Apply(s)
+	env.Run()
+
+	if len(crashed) != 1 || crashed[0] != 2 {
+		t.Fatalf("OnCrash saw %v, want [2]", crashed)
+	}
+	if inj.NodeAlive(2) || !inj.NodeAlive(1) {
+		t.Fatal("liveness view wrong after crash")
+	}
+	if !Alive(nil, 2) {
+		t.Error("nil-injector Alive must report every node alive")
+	}
+	if Alive(inj, 2) {
+		t.Error("Alive(inj, 2) true after crash")
+	}
+
+	// Crashed endpoints drop in both directions.
+	if !inj.Outcome(0, 2, 64).Drop || !inj.Outcome(2, 0, 64).Drop {
+		t.Error("traffic to/from crashed node not dropped")
+	}
+	// The partition healed at 2ms, so 0<->3 flows again.
+	if inj.Partitioned(0, 3) || inj.Outcome(0, 3, 64).Drop {
+		t.Error("healed partition still dropping")
+	}
+	// The drop rule consumes exactly its 2-message budget on 0->1.
+	if !inj.Outcome(0, 1, 64).Drop || !inj.Outcome(0, 1, 64).Drop {
+		t.Error("drop rule did not consume its budget")
+	}
+	// Budget spent: the next 0->1 message falls through to the delay rule.
+	out := inj.Outcome(0, 1, 64)
+	if out.Drop || out.Delay != 100*sim.Microsecond {
+		t.Errorf("after drop budget, outcome = %+v, want 100µs delay", out)
+	}
+	// Delay budget spent too: traffic is clean now.
+	if out := inj.Outcome(0, 1, 64); out.Drop || out.Delay != 0 {
+		t.Errorf("exhausted rules still firing: %+v", out)
+	}
+}
+
+func TestInjectorDupRuleAtMessageLayer(t *testing.T) {
+	env := sim.NewEnv()
+	c := cluster.NewDefault(env, 2)
+	inj := New(c)
+
+	var s Schedule
+	s.Add(Event{At: sim.Microsecond, Kind: DupMessages, From: Any, To: Any, Count: 1})
+	inj.Apply(s)
+	env.Run()
+
+	if !inj.MsgOutcome(0, 1, "dsm", "req").Duplicate {
+		t.Fatal("dup rule did not duplicate the first message")
+	}
+	if inj.MsgOutcome(0, 1, "dsm", "req").Duplicate {
+		t.Fatal("dup rule exceeded its budget")
+	}
+}

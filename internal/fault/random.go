@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// RandomOpts bounds a randomized schedule. Zero-valued count fields inject
+// nothing of that class, so callers opt in per fault type.
+type RandomOpts struct {
+	// Nodes is the node-id range [0, Nodes) faults may target.
+	Nodes int
+	// Horizon is the window events are placed in: (0, Horizon].
+	Horizon sim.Time
+
+	// MsgFaults is the number of drop/delay/duplicate rules to schedule.
+	MsgFaults int
+	// MaxBurst bounds each message rule's Count (default 4).
+	MaxBurst int
+	// MaxDelay bounds DelayMessages extra latency (default 200 us).
+	MaxDelay sim.Time
+	// DropRules includes DropMessages rules in the mix. Dropped messages
+	// require every protocol on the path to carry retries, so loss is
+	// opt-in while delay/duplication are always in the mix.
+	DropRules bool
+
+	// Partitions is the number of transient partitions (each healed
+	// after a random fraction of the remaining horizon).
+	Partitions int
+
+	// Degrades is the number of transient CPU/disk degradations.
+	Degrades int
+
+	// Crashes is the number of node crashes (never node 0: the bootstrap
+	// slice owns the DSM directory, and the model restarts onto
+	// surviving slices rather than re-electing a directory).
+	Crashes int
+}
+
+// Random generates a seeded schedule within the given bounds. The same
+// (seed, opts) pair always yields the same schedule, which combined with
+// the deterministic simulator makes every faulty run replayable.
+func Random(seed int64, o RandomOpts) Schedule {
+	if o.Nodes <= 0 || o.Horizon <= 0 {
+		panic("fault: Random needs nodes and a horizon")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	maxBurst := o.MaxBurst
+	if maxBurst <= 0 {
+		maxBurst = 4
+	}
+	maxDelay := o.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 200 * sim.Microsecond
+	}
+	at := func() sim.Time { return 1 + sim.Time(rng.Int63n(int64(o.Horizon))) }
+	node := func() int { return rng.Intn(o.Nodes) }
+
+	var s Schedule
+	for k := 0; k < o.MsgFaults; k++ {
+		e := Event{At: at(), From: Any, To: Any, Count: 1 + rng.Intn(maxBurst)}
+		// Half the rules target a specific destination endpoint, the
+		// rest are fabric-wide.
+		if rng.Intn(2) == 0 {
+			e.To = node()
+		}
+		kinds := []Kind{DelayMessages, DupMessages}
+		if o.DropRules {
+			kinds = append(kinds, DropMessages)
+		}
+		e.Kind = kinds[rng.Intn(len(kinds))]
+		if e.Kind == DelayMessages {
+			e.Delay = 1 + sim.Time(rng.Int63n(int64(maxDelay)))
+		}
+		s.Add(e)
+	}
+	for k := 0; k < o.Partitions && o.Nodes >= 2; k++ {
+		a := node()
+		b := node()
+		for b == a {
+			b = node()
+		}
+		t := at()
+		heal := t + 1 + sim.Time(rng.Int63n(int64(o.Horizon-t)+1))
+		s.Add(Event{At: t, Kind: Partition, A: a, B: b})
+		s.Add(Event{At: heal, Kind: HealPartition, A: a, B: b})
+	}
+	for k := 0; k < o.Degrades; k++ {
+		n := node()
+		t := at()
+		heal := t + 1 + sim.Time(rng.Int63n(int64(o.Horizon-t)+1))
+		if rng.Intn(2) == 0 {
+			s.Add(Event{At: t, Kind: DegradeCPU, Node: n, Factor: 0.5 + rng.Float64()})
+			s.Add(Event{At: heal, Kind: HealCPU, Node: n})
+		} else {
+			s.Add(Event{At: t, Kind: DegradeDisk, Node: n, Factor: 1.5 + rng.Float64()})
+			s.Add(Event{At: heal, Kind: HealDisk, Node: n})
+		}
+	}
+	for k := 0; k < o.Crashes && o.Nodes >= 2; k++ {
+		s.Add(Event{At: at(), Kind: CrashNode, Node: 1 + rng.Intn(o.Nodes-1)})
+	}
+	return s
+}

@@ -1,0 +1,145 @@
+package faulttest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// TestFaultFreeBaseline: the harness itself must pass cleanly with an
+// empty schedule — workload completes, memory intact, DSM coherent.
+func TestFaultFreeBaseline(t *testing.T) {
+	res := Run(Scenario{Seed: 1})
+	if !res.Ok() {
+		t.Fatalf("fault-free run failed:\n%s", res.Metrics())
+	}
+	if len(res.DeadAt) != 0 {
+		t.Fatalf("heartbeat declared deaths without faults: %v", res.DeadAt)
+	}
+	if !res.PatternChecked {
+		t.Fatal("pattern check skipped on a fault-free run")
+	}
+}
+
+// TestLenderCrashRecovery is the headline end-to-end scenario: a lender
+// slice fail-stops mid-workload; the heartbeat detects it, vCPUs restart
+// on survivors, the checkpoint restores guest memory, the workload runs
+// to completion, and the pattern written before the crash is
+// byte-identical on the survivors.
+func TestLenderCrashRecovery(t *testing.T) {
+	var sched fault.Schedule
+	sched.Add(fault.Event{At: 10 * sim.Millisecond, Kind: fault.CrashNode, Node: 2})
+	res := Run(Scenario{Seed: 7, Schedule: sched, Checkpoint: true})
+	if len(res.LiveProcs) != 0 {
+		t.Fatalf("deadlock: %v", res.LiveProcs)
+	}
+	if len(res.DeadAt) != 1 || res.DeadAt[0] != 2 {
+		t.Fatalf("expected node 2 declared dead, got %v", res.DeadAt)
+	}
+	if len(res.Recovered) != 1 {
+		t.Fatalf("expected one recovery, got %v", res.Recovered)
+	}
+	if res.Recovered[0] <= res.Detected[0] {
+		t.Fatalf("recovery at %v not after detection at %v", res.Recovered[0], res.Detected[0])
+	}
+	if res.CoherenceErr != nil {
+		t.Fatalf("DSM incoherent after recovery: %v", res.CoherenceErr)
+	}
+	if !res.PatternChecked || len(res.PatternMismatches) != 0 {
+		t.Fatalf("guest memory not byte-identical after restore (checked=%v):\n%v",
+			res.PatternChecked, res.PatternMismatches)
+	}
+}
+
+// TestCrashWithoutCheckpointStaysCoherent: without an image to restore,
+// a crash loses the dead slice's data (the pattern check is skipped) but
+// the surviving protocol state must stay coherent and deadlock-free.
+func TestCrashWithoutCheckpointStaysCoherent(t *testing.T) {
+	var sched fault.Schedule
+	sched.Add(fault.Event{At: 8 * sim.Millisecond, Kind: fault.CrashNode, Node: 3})
+	res := Run(Scenario{Seed: 11, Schedule: sched})
+	if len(res.LiveProcs) != 0 {
+		t.Fatalf("deadlock: %v", res.LiveProcs)
+	}
+	if res.CoherenceErr != nil {
+		t.Fatalf("DSM incoherent: %v", res.CoherenceErr)
+	}
+	if res.PatternChecked {
+		t.Fatal("pattern check should be skipped after data-losing crash")
+	}
+}
+
+// TestMessageFaultSchedules: seeded random delay/duplicate/drop rules
+// (plus transient partitions and degradations) must never deadlock the
+// stack or break coherence; with no crash the pattern also survives.
+func TestMessageFaultSchedules(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			sched := fault.Random(seed, fault.RandomOpts{
+				Nodes:      4,
+				Horizon:    25 * sim.Millisecond,
+				MsgFaults:  6,
+				DropRules:  true,
+				Partitions: 1,
+				Degrades:   1,
+			})
+			res := Run(Scenario{Seed: seed, Schedule: sched, Checkpoint: true})
+			if len(res.LiveProcs) != 0 {
+				t.Fatalf("deadlock under schedule:\n%s\nprocs: %v", sched.String(), res.LiveProcs)
+			}
+			if res.CoherenceErr != nil {
+				t.Fatalf("incoherent under schedule:\n%s\nerr: %v", sched.String(), res.CoherenceErr)
+			}
+			if res.PatternChecked && len(res.PatternMismatches) != 0 {
+				t.Fatalf("pattern diverged under schedule:\n%s\n%v", sched.String(), res.PatternMismatches)
+			}
+		})
+	}
+}
+
+// TestRandomCrashSchedules: full fault mix including a crash, with
+// checkpointing — every seed must recover to byte-identical memory.
+func TestRandomCrashSchedules(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			sched := fault.Random(seed, fault.RandomOpts{
+				Nodes:     4,
+				Horizon:   20 * sim.Millisecond,
+				MsgFaults: 4,
+				Crashes:   1,
+			})
+			res := Run(Scenario{Seed: seed, Schedule: sched, Checkpoint: true})
+			if !res.Ok() {
+				t.Fatalf("failed under schedule:\n%s\nresult:\n%s", sched.String(), res.Metrics())
+			}
+			if len(res.DeadAt) == 0 {
+				t.Fatalf("crash never detected under schedule:\n%s", sched.String())
+			}
+		})
+	}
+}
+
+// TestDeterministicUnderFaults: the same scenario run twice must produce
+// bit-identical metrics renderings — faults and recovery included.
+func TestDeterministicUnderFaults(t *testing.T) {
+	scenario := func() Scenario {
+		sched := fault.Random(42, fault.RandomOpts{
+			Nodes:      4,
+			Horizon:    20 * sim.Millisecond,
+			MsgFaults:  5,
+			DropRules:  true,
+			Partitions: 1,
+			Crashes:    1,
+		})
+		return Scenario{Seed: 42, Schedule: sched, Checkpoint: true}
+	}
+	a := Run(scenario()).Metrics()
+	b := Run(scenario()).Metrics()
+	if a != b {
+		t.Fatalf("same scenario diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}

@@ -192,12 +192,27 @@ func (k *Kernel) PageTableUpdate(p *sim.Proc, node, vcpu int) {
 	k.dsm.Touch(p, node, k.pgd, true)
 }
 
+// OutOfMemoryError is returned by Alloc when no arena — local or
+// spill — can satisfy an allocation. It is the guest-visible face of
+// genuine memory exhaustion, as opposed to the panics Alloc keeps for
+// caller bugs (non-positive sizes, unknown nodes).
+type OutOfMemoryError struct {
+	Node  int   // allocating node
+	Pages int64 // pages requested
+	Free  int64 // pages left in the best arena (or the heap)
+}
+
+func (e *OutOfMemoryError) Error() string {
+	return fmt.Sprintf("guest: out of memory: node %d requested %d pages, largest arena has %d free",
+		e.Node, e.Pages, e.Free)
+}
+
 // Alloc models an anonymous memory allocation (mmap + first touch) of the
 // given size by a vCPU, returning the region. The allocator serializes on
 // a shared kernel page per 4 MiB chunk — the kernel-structure contention
 // the paper blames for IS/FT's sub-linear scaling — and then first-touches
-// the data pages.
-func (k *Kernel) Alloc(p *sim.Proc, node, vcpu int, bytes int64) mem.Region {
+// the data pages. Exhausting every arena returns *OutOfMemoryError.
+func (k *Kernel) Alloc(p *sim.Proc, node, vcpu int, bytes int64) (mem.Region, error) {
 	if bytes <= 0 {
 		panic("guest: allocation size must be positive")
 	}
@@ -219,9 +234,12 @@ func (k *Kernel) Alloc(p *sim.Proc, node, vcpu int, bytes int64) mem.Region {
 	// First touch: local minor faults when the range is pre-delegated to
 	// this node (NUMA-aware guest) or origin-local; remote claims
 	// otherwise. The DSM extent table prices each case.
-	r := k.carve(node, pages)
+	r, err := k.carve(node, pages)
+	if err != nil {
+		return mem.Region{}, err
+	}
 	k.dsm.TouchRange(p, node, r.Start, r.Pages, true)
-	return r
+	return r, nil
 }
 
 // carve takes pages from the appropriate arena. When the local NUMA arena
@@ -229,7 +247,7 @@ func (k *Kernel) Alloc(p *sim.Proc, node, vcpu int, bytes int64) mem.Region {
 // including memory-only slices, which is how an Aggregate VM borrows RAM
 // from nodes that contribute no vCPUs. Spilled memory pays remote
 // first-touch costs through the DSM.
-func (k *Kernel) carve(node int, pages int64) mem.Region {
+func (k *Kernel) carve(node int, pages int64) (mem.Region, error) {
 	if k.cfg.NUMAAware && len(k.perNode) > 0 {
 		h, ok := k.perNode[node]
 		if !ok {
@@ -238,19 +256,25 @@ func (k *Kernel) carve(node int, pages int64) mem.Region {
 		if h.next+pages > h.region.Pages {
 			h = k.spillArena(pages)
 			if h == nil {
-				panic(fmt.Sprintf("guest: all arenas exhausted allocating %d pages", pages))
+				free := int64(0)
+				for _, o := range k.perNode {
+					if f := o.region.Pages - o.next; f > free {
+						free = f
+					}
+				}
+				return mem.Region{}, &OutOfMemoryError{Node: node, Pages: pages, Free: free}
 			}
 		}
 		r := mem.Region{Name: "anon", Start: h.region.Start + mem.PageID(h.next), Pages: pages, Kind: mem.KindHeap}
 		h.next += pages
-		return r
+		return r, nil
 	}
 	if k.heapNext+pages > k.heap.Pages {
-		panic(fmt.Sprintf("guest: heap exhausted (%d + %d > %d pages)", k.heapNext, pages, k.heap.Pages))
+		return mem.Region{}, &OutOfMemoryError{Node: node, Pages: pages, Free: k.heap.Pages - k.heapNext}
 	}
 	r := mem.Region{Name: "anon", Start: k.heap.Start + mem.PageID(k.heapNext), Pages: pages, Kind: mem.KindHeap}
 	k.heapNext += pages
-	return r
+	return r, nil
 }
 
 // AllocFast models a small-object allocation (slab/kmalloc, or a

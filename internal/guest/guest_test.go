@@ -1,6 +1,7 @@
 package guest
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/dsm"
@@ -92,7 +93,7 @@ func TestAllocNUMAAwareIsLocal(t *testing.T) {
 	env, d, k, _ := newTestKernel(2, 2, OptimizedConfig())
 	var r mem.Region
 	run(env, func(p *sim.Proc) {
-		r = k.Alloc(p, 1, 1, 8<<20) // 8 MiB on node 1
+		r, _ = k.Alloc(p, 1, 1, 8<<20) // 8 MiB on node 1
 	})
 	if r.Pages != 2048 {
 		t.Fatalf("region pages = %d", r.Pages)
@@ -142,15 +143,23 @@ func TestAllocSerializesOnSharedLockPage(t *testing.T) {
 	}
 }
 
-func TestAllocExhaustionPanics(t *testing.T) {
+func TestAllocExhaustionReturnsTypedError(t *testing.T) {
 	env, _, k, _ := newTestKernel(1, 1, VanillaConfig())
-	defer func() {
-		if recover() == nil {
-			t.Error("heap exhaustion did not panic")
-		}
-	}()
 	run(env, func(p *sim.Proc) {
-		k.Alloc(p, 0, 0, 128<<20) // larger than the 64 MiB heap
+		_, err := k.Alloc(p, 0, 0, 128<<20) // larger than the 64 MiB heap
+		var oom *OutOfMemoryError
+		if !errors.As(err, &oom) {
+			t.Errorf("heap exhaustion returned %v, want *OutOfMemoryError", err)
+			return
+		}
+		if oom.Pages != (128<<20)/4096 {
+			t.Errorf("OOM details = %+v", oom)
+		}
+		// The failed allocation must not have consumed heap: a
+		// page-sized retry still succeeds.
+		if _, err := k.Alloc(p, 0, 0, 4096); err != nil {
+			t.Errorf("allocation after failed OOM attempt: %v", err)
+		}
 	})
 }
 
@@ -226,7 +235,7 @@ func TestSocketStreamReusesRing(t *testing.T) {
 func TestFreeTouchesAllocator(t *testing.T) {
 	env, d, k, _ := newTestKernel(2, 2, VanillaConfig())
 	run(env, func(p *sim.Proc) {
-		r := k.Alloc(p, 1, 1, 1<<20)
+		r, _ := k.Alloc(p, 1, 1, 1<<20)
 		before := d.NodeStats(1).WriteFaults + d.NodeStats(1).LocalHits
 		k.Free(p, 1, 1, r)
 		after := d.NodeStats(1).WriteFaults + d.NodeStats(1).LocalHits

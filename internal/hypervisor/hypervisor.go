@@ -24,8 +24,10 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dsm"
+	"repro/internal/fault"
 	"repro/internal/guest"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/vcpu"
@@ -70,6 +72,12 @@ type Config struct {
 	HelperThreads bool
 
 	BootCost sim.Time // per-slice setup charged by Boot
+
+	// Fault, when set, wires the VM for fault injection: the injector
+	// filters the messaging layer, serves as the DSM's liveness view, and
+	// shares its counters with the VM's recovery accounting. Set
+	// DSM.Retry too, or lost protocol messages deadlock the VM.
+	Fault *fault.Injector
 }
 
 // FragVisorConfig returns the paper's FragVisor profile: kernel-space DSM
@@ -138,6 +146,9 @@ type VM struct {
 	nodes    []int // distinct slice nodes, bootstrap first
 	booted   bool
 	sliceSvc string
+	dead     map[int]bool // slices declared failed (see fault.go)
+	hbStop   bool
+	ctr      *metrics.Counters
 }
 
 // New assembles (but does not boot) an Aggregate VM.
@@ -172,8 +183,14 @@ func New(cfg Config) *VM {
 		}
 	}
 
-	vm := &VM{Env: env, Layer: layer, Layout: &mem.Layout{}, cfg: cfg, nodes: nodes}
+	vm := &VM{Env: env, Layer: layer, Layout: &mem.Layout{}, cfg: cfg, nodes: nodes,
+		dead: make(map[int]bool), ctr: metrics.NewCounters()}
 	vm.DSM = dsm.New(env, layer, nodes, cfg.DSM)
+	if cfg.Fault != nil {
+		cfg.Fault.AttachLayer(layer)
+		vm.DSM.SetFaultView(cfg.Fault)
+		vm.ctr = cfg.Fault.Counters()
+	}
 
 	placement := make([]int, len(cfg.Placement))
 	pcpus := make([]*sim.PS, len(cfg.Placement))
@@ -244,6 +261,10 @@ func vcpuService(vm *VM) string {
 			vm.Layer.Handle(n, vm.sliceSvc, func(m *msg.Message) {
 				switch m.Kind {
 				case "handshake":
+					m.Reply(64, nil)
+				case "ping":
+					// Heartbeat probe; a crashed slice never replies
+					// because the injector silences its endpoints.
 					m.Reply(64, nil)
 				default:
 					panic(fmt.Sprintf("hypervisor: unknown slice message %q", m.Kind))

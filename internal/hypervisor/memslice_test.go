@@ -1,8 +1,10 @@
 package hypervisor
 
 import (
+	"errors"
 	"testing"
 
+	"repro/internal/guest"
 	"repro/internal/sim"
 	"repro/internal/vcpu"
 )
@@ -24,10 +26,14 @@ func TestMemoryOnlySlice(t *testing.T) {
 	var localTime, spillTime sim.Time
 	vm.Run(0, "alloc", func(ctx *vcpu.Ctx) {
 		start := ctx.P.Now()
-		vm.Kernel.Alloc(ctx.P, ctx.Node(), ctx.ID(), 24<<20) // fits locally (32 MiB arena)
+		if _, err := vm.Kernel.Alloc(ctx.P, ctx.Node(), ctx.ID(), 24<<20); err != nil { // fits locally (32 MiB arena)
+			t.Errorf("local allocation failed: %v", err)
+		}
 		localTime = ctx.P.Now() - start
 		start = ctx.P.Now()
-		vm.Kernel.Alloc(ctx.P, ctx.Node(), ctx.ID(), 24<<20) // spills to node 1's arena
+		if _, err := vm.Kernel.Alloc(ctx.P, ctx.Node(), ctx.ID(), 24<<20); err != nil { // spills to node 1's arena
+			t.Errorf("spill allocation failed: %v", err)
+		}
 		spillTime = ctx.P.Now() - start
 	})
 	c.Env.Run()
@@ -40,20 +46,24 @@ func TestMemoryOnlySlice(t *testing.T) {
 	}
 }
 
-// TestMemoryOnlySliceExhaustionPanics: spilling past every arena fails
-// loudly.
-func TestMemoryOnlySliceExhaustionPanics(t *testing.T) {
+// TestMemoryOnlySliceExhaustion: spilling past every arena surfaces as a
+// typed out-of-memory error, not a panic, so guests can model OOM
+// handling.
+func TestMemoryOnlySliceExhaustion(t *testing.T) {
 	c := newCluster(2)
 	cfg := FragVisorConfig(c, []Pin{{Node: 0, PCPU: 0}}, 8<<20)
 	cfg.MemoryNodes = []int{1}
 	vm := New(cfg)
 	vm.Run(0, "alloc", func(ctx *vcpu.Ctx) {
-		defer func() {
-			if recover() == nil {
-				t.Error("arena exhaustion did not panic")
-			}
-		}()
-		vm.Kernel.Alloc(ctx.P, ctx.Node(), ctx.ID(), 64<<20)
+		_, err := vm.Kernel.Alloc(ctx.P, ctx.Node(), ctx.ID(), 64<<20)
+		var oom *guest.OutOfMemoryError
+		if !errors.As(err, &oom) {
+			t.Errorf("arena exhaustion returned %v, want *guest.OutOfMemoryError", err)
+			return
+		}
+		if oom.Node != 0 || oom.Pages != (64<<20)/4096 {
+			t.Errorf("OOM details = %+v", oom)
+		}
 	})
 	c.Env.Run()
 }

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is a set of named monotonic int64 counters with deterministic
+// (sorted) rendering — the reporting vehicle for fault-injection, retry,
+// and recovery accounting, where bit-identical output across same-seed
+// runs is itself an asserted invariant.
+type Counters struct {
+	vals map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]int64)}
+}
+
+// Inc adds delta to the named counter, creating it at zero first.
+func (c *Counters) Inc(name string, delta int64) {
+	c.vals[name] += delta
+}
+
+// Get returns the named counter's value (zero if never incremented).
+func (c *Counters) Get(name string) int64 { return c.vals[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	out := make([]string, 0, len(c.vals))
+	for name := range c.vals {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders "name=value" pairs, sorted by name, space-separated —
+// stable across runs, so it can be compared byte-for-byte in determinism
+// tests.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, name := range c.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, c.vals[name])
+	}
+	return b.String()
+}
+
+// Table renders the counters as a titled two-column table.
+func (c *Counters) Table(title string) *Table {
+	t := NewTable(title, "counter", "value")
+	for _, name := range c.Names() {
+		t.AddRow(name, c.vals[name])
+	}
+	return t
+}

@@ -52,11 +52,24 @@ type Message struct {
 	layer   *Layer
 	replyEv *sim.Event
 	reply   *Message
+	dup     bool // fault-injected duplicate delivery of an earlier message
 }
 
+// Duplicate reports whether this delivery is a fault-injected duplicate of
+// an earlier message. Handlers that are not naturally idempotent may use
+// it to skip side effects.
+func (m *Message) Duplicate() bool { return m.dup }
+
 // Reply sends a response of the given size back to the caller of Call.
-// Replying to a one-way message, or twice, panics.
+// Replying to a one-way message, or twice, panics. Replies to duplicate
+// deliveries are silently discarded: the requester's call already
+// completed against the original, so the wire would carry an answer
+// nobody is waiting for.
 func (m *Message) Reply(size int, payload any) {
+	if m.dup {
+		m.layer.faults.DupRepliesDropped++
+		return
+	}
 	if m.replyEv == nil {
 		panic(fmt.Sprintf("msg: Reply to one-way %s/%s", m.Service, m.Kind))
 	}
@@ -86,6 +99,8 @@ type Layer struct {
 	params   Params
 	handlers map[serviceKey]Handler
 	stats    map[string]*ServiceStats
+	filter   Filter
+	faults   FaultStats
 }
 
 type serviceKey struct {
@@ -153,13 +168,44 @@ func (l *Layer) deliver(m *Message, onDelivered func()) {
 	}
 	receive := func() { l.env.After(l.params.HandlerLat, handle) }
 
+	var verdict MsgOutcome
+	if l.filter != nil {
+		verdict = l.filter.MsgOutcome(m.From, m.To, m.Service, m.Kind)
+	}
 	if m.From == m.To {
 		// Same-node messages short-circuit the fabric but still pay the
-		// handler demultiplexing cost.
+		// handler demultiplexing cost. A crashed node delivers nothing,
+		// not even to itself.
+		if verdict.Drop {
+			l.faults.Dropped++
+			return
+		}
 		l.env.After(0, receive)
 		return
 	}
+	// Cross-node drop/delay faults are ruled on by the fabric's own
+	// filter inside net.Send; the messaging layer adds duplication, which
+	// must be applied here so the duplicate can be delivered as a marked
+	// Message whose Reply is discarded.
 	l.net.Send(m.From, m.To, m.Size+l.params.HeaderBytes, receive)
+	if verdict.Duplicate {
+		l.faults.Duplicated++
+		clone := *m
+		clone.dup = true
+		l.net.Send(m.From, m.To, m.Size+l.params.HeaderBytes, func() {
+			l.env.After(l.params.HandlerLat, func() {
+				if onDelivered != nil {
+					// Duplicate replies are dropped at the requester:
+					// the original already completed the call.
+					l.faults.DupRepliesDropped++
+					return
+				}
+				if h, ok := l.handlers[serviceKey{clone.To, clone.Service}]; ok {
+					h(&clone)
+				}
+			})
+		})
+	}
 }
 
 // Stats returns the traffic counters for a service (zeroes if unused).

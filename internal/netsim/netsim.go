@@ -18,6 +18,20 @@ import (
 	"repro/internal/sim"
 )
 
+// Outcome is a fault filter's verdict on one message: deliver normally,
+// drop it, or deliver it late.
+type Outcome struct {
+	Drop  bool
+	Delay sim.Time // extra propagation delay on top of the fabric latency
+}
+
+// Filter inspects every message offered to the fabric. Implemented by the
+// fault injector (package fault) to model node crashes, link partitions,
+// and lossy or slow links. A nil-filter fabric delivers everything.
+type Filter interface {
+	Outcome(from, to, size int) Outcome
+}
+
 // Net is a message fabric. Construct with New.
 type Net struct {
 	env     *sim.Env
@@ -26,6 +40,7 @@ type Net struct {
 	bps     float64 // bytes per second
 	nics    map[int]*nic
 	stats   Stats
+	filter  Filter
 }
 
 // nic tracks when an endpoint's egress link is next free.
@@ -39,6 +54,8 @@ type nic struct {
 type Stats struct {
 	Messages int64
 	Bytes    int64
+	Dropped  int64 // messages discarded by the fault filter
+	Delayed  int64 // messages delivered late by the fault filter
 }
 
 // New returns a fabric with the given one-way latency and bandwidth in
@@ -73,9 +90,17 @@ func (n *Net) TxTime(size int) sim.Time {
 	return sim.FromSeconds(float64(size) / n.bps)
 }
 
+// SetFilter installs (or, with nil, removes) the fabric's fault filter.
+func (n *Net) SetFilter(f Filter) { n.filter = f }
+
 // Send transmits size bytes from one endpoint to another and invokes
 // deliver at the receiver once the message arrives. deliver may be nil for
 // fire-and-forget accounting. Send returns the delivery time.
+//
+// When a fault filter is installed it rules on every message after the
+// sender's NIC time has been charged (the sender cannot know the fabric
+// lost its frame): dropped messages never invoke deliver, delayed ones
+// arrive late.
 func (n *Net) Send(from, to int, size int, deliver func()) sim.Time {
 	now := n.env.Now()
 	egress := n.nic(from)
@@ -90,6 +115,17 @@ func (n *Net) Send(from, to int, size int, deliver func()) sim.Time {
 	n.stats.Messages++
 	n.stats.Bytes += int64(size)
 	arrive := done + n.latency
+	if n.filter != nil {
+		o := n.filter.Outcome(from, to, size)
+		if o.Drop {
+			n.stats.Dropped++
+			return arrive
+		}
+		if o.Delay > 0 {
+			n.stats.Delayed++
+			arrive += o.Delay
+		}
+	}
 	if deliver != nil {
 		n.env.At(arrive, deliver)
 	}

@@ -105,6 +105,7 @@ type Env struct {
 	procErr any
 	stopped bool
 	spawned int
+	procs   []*Proc
 }
 
 // NewEnv returns an empty simulation environment at time zero.
@@ -138,6 +139,24 @@ func (e *Env) After(d Time, fn func()) *Timer {
 // Stop makes Run return after the current event completes. Pending events
 // are kept; a subsequent Run resumes the simulation.
 func (e *Env) Stop() { e.stopped = true }
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (e *Env) Pending() int { return len(e.events) }
+
+// LiveProcs returns the names of processes that have been spawned but have
+// not finished. After Run returns with an empty event queue, any live
+// process is blocked on an event that will never fire — the definition of
+// a simulation deadlock — so fault-injection harnesses assert this list is
+// empty (or contains only intentionally-immortal daemons).
+func (e *Env) LiveProcs() []string {
+	var out []string
+	for _, p := range e.procs {
+		if !p.finished {
+			out = append(out, p.name)
+		}
+	}
+	return out
+}
 
 // Run executes events in order until the queue is empty or Stop is called.
 // If any process panics, Run re-panics with the process's stack trace.
@@ -182,6 +201,7 @@ func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
 	}
 	p.done = e.NewEvent()
 	e.spawned++
+	e.procs = append(e.procs, p)
 	e.After(0, func() { e.dispatch(p) })
 	return p
 }
@@ -285,6 +305,39 @@ func (p *Proc) WaitAll(evs ...*Event) {
 	for _, ev := range evs {
 		p.Wait(ev)
 	}
+}
+
+// WaitTimeout suspends the process until ev fires or d elapses, whichever
+// comes first, and reports whether the event fired. It is the primitive
+// under every RPC timeout in the messaging layer: a deterministic race
+// between the reply and the timer.
+func (p *Proc) WaitTimeout(ev *Event, d Time) bool {
+	if ev.fired {
+		return true
+	}
+	if d < 0 {
+		panic(fmt.Sprintf("sim: WaitTimeout(%v) with negative timeout", d))
+	}
+	ev.waiters = append(ev.waiters, p)
+	timedOut := false
+	tm := p.env.After(d, func() {
+		// Only time out if the event has not already claimed the proc:
+		// Fire clears the waiter list, so finding p there means the
+		// event has not fired and p is still parked on it.
+		for i, w := range ev.waiters {
+			if w == p {
+				ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
+				timedOut = true
+				p.env.dispatch(p)
+				return
+			}
+		}
+	})
+	p.park()
+	if !timedOut {
+		tm.Cancel()
+	}
+	return !timedOut
 }
 
 // Event is a one-shot broadcast signal. Construct with Env.NewEvent. Firing

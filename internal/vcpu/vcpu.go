@@ -177,6 +177,11 @@ func (m *Manager) IPI(p *sim.Proc, fromNode, toVCPU int, deliver func()) {
 func (m *Manager) handle(msg *msg.Message) {
 	switch msg.Kind {
 	case "ipi":
+		if msg.Duplicate() {
+			// Interrupts are idempotent at the hardware level: a
+			// fault-injected duplicate of an IPI message coalesces.
+			return
+		}
 		if msg.Payload != nil {
 			if deliver, ok := msg.Payload.(func()); ok && deliver != nil {
 				// Injection into a (possibly halted) vCPU plus guest
@@ -227,6 +232,19 @@ func (m *Manager) Migrate(p *sim.Proc, vcpuID, destNode int, destPCPU *sim.PS) s
 	m.migrations++
 	m.migrationTime += d
 	return d
+}
+
+// Repin administratively moves a vCPU to a node and pCPU with no protocol
+// traffic or cost. It is the restart path: after a slice crash, vCPUs it
+// hosted are rebuilt from checkpoint state on surviving nodes, and the dead
+// node cannot participate in the live-migration handshake.
+func (m *Manager) Repin(vcpuID, node int, pcpu *sim.PS) {
+	if pcpu == nil {
+		panic("vcpu: Repin needs a destination pCPU")
+	}
+	v := m.VCPU(vcpuID)
+	v.node = node
+	v.pcpu = pcpu
 }
 
 // Migrations returns the number of completed migrations and their mean

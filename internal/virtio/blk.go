@@ -93,8 +93,10 @@ func (bd *BlkDev) chunk(c *vcpu.Ctx, q *queue, n int, write bool) {
 	if write && bd.cfg.Bypass {
 		size = bd.kickSize(n) // payload rides the kick
 	}
-	bd.layer.Send(c.Node(), bd.cfg.Owner, bd.svc, "req", size,
-		blkReq{id: id, queue: q.id, bytes: n, write: write, pages: pages, node: c.Node()})
+	// Descriptor on the ring, doorbell over the fabric: the owner drains
+	// the ring FIFO, so duplicated or delayed kicks are harmless.
+	q.pending = append(q.pending, blkReq{id: id, queue: q.id, bytes: n, write: write, pages: pages, node: c.Node()})
+	bd.layer.Send(c.Node(), bd.cfg.Owner, bd.svc, "req", size, q.id)
 	c.P.Wait(ev)
 	delete(bd.done, id)
 	if !write {
@@ -121,36 +123,45 @@ func (bd *BlkDev) chunk(c *vcpu.Ctx, q *queue, n int, write bool) {
 func (bd *BlkDev) handle(m *msg.Message) {
 	switch m.Kind {
 	case "req":
-		req := m.Payload.(blkReq)
+		qid := m.Payload.(int)
 		bd.env.Spawn(bd.svc+".vhost", func(p *sim.Proc) {
-			q := bd.queues[req.queue]
+			q := bd.queues[qid]
 			q.lock.Lock(p)
-			bd.d.Touch(p, bd.cfg.Owner, q.availPage(), false)
-			p.Sleep(bd.params.HostPacketCPU)
-			if req.write && !bd.cfg.Bypass {
-				// Device DMA reads the guest buffer through the DSM.
-				for _, pg := range req.pages {
-					bd.d.Touch(p, bd.cfg.Owner, pg, false)
+			defer q.lock.Unlock()
+			// FIFO drain; duplicated or delayed doorbells find an empty
+			// ring and idle.
+			for len(q.pending) > 0 {
+				req := q.pending[0].(blkReq)
+				q.pending = q.pending[1:]
+				bd.d.Touch(p, bd.cfg.Owner, q.availPage(), false)
+				p.Sleep(bd.params.HostPacketCPU)
+				if req.write && !bd.cfg.Bypass {
+					// Device DMA reads the guest buffer through the DSM.
+					for _, pg := range req.pages {
+						bd.d.Touch(p, bd.cfg.Owner, pg, false)
+					}
 				}
-			}
-			bd.disk.Transfer(p, int64(req.bytes))
-			if !req.write && !bd.cfg.Bypass {
-				// Device DMA fills the guest buffer at the owner; the
-				// requester faults the pages over afterwards.
-				for _, pg := range req.pages {
-					bd.d.Touch(p, bd.cfg.Owner, pg, true)
+				bd.disk.Transfer(p, int64(req.bytes))
+				if !req.write && !bd.cfg.Bypass {
+					// Device DMA fills the guest buffer at the owner; the
+					// requester faults the pages over afterwards.
+					for _, pg := range req.pages {
+						bd.d.Touch(p, bd.cfg.Owner, pg, true)
+					}
 				}
+				bd.d.Touch(p, bd.cfg.Owner, q.usedPage(), true)
+				bd.stats.IRQs++
+				size := bd.params.IRQBytes
+				if !req.write && bd.cfg.Bypass {
+					size += req.bytes // read payload rides the completion
+				}
+				bd.layer.Send(bd.cfg.Owner, req.node, bd.svc, "done", size, req.id)
 			}
-			bd.d.Touch(p, bd.cfg.Owner, q.usedPage(), true)
-			q.lock.Unlock()
-			bd.stats.IRQs++
-			size := bd.params.IRQBytes
-			if !req.write && bd.cfg.Bypass {
-				size += req.bytes // read payload rides the completion
-			}
-			bd.layer.Send(bd.cfg.Owner, req.node, bd.svc, "done", size, req.id)
 		})
 	case "done":
+		if m.Duplicate() {
+			return // completion interrupts coalesce
+		}
 		id := m.Payload.(uint64)
 		ev, ok := bd.done[id]
 		if !ok {

@@ -77,6 +77,13 @@ type Stats struct {
 }
 
 // queue is one TX/RX pair: two ring pages plus a payload buffer ring.
+//
+// pending is the descriptor ring's content: guest-side enqueues append
+// descriptors here (paying the avail-ring DSM traffic), and the owner's
+// doorbell handler drains them in FIFO order under the queue lock. Kicks
+// are therefore pure doorbells — a duplicated or delayed kick finds the
+// work already drained and is a no-op, which is the idempotence the real
+// virtqueue protocol gets from its ring indices.
 type queue struct {
 	id      int
 	vcpu    int // vCPU served by this queue (multiqueue)
@@ -84,6 +91,7 @@ type queue struct {
 	buf     mem.Region
 	bufNext int64
 	lock    *sim.Mutex // vhost worker serialization per queue
+	pending []any      // enqueued descriptors awaiting the owner's drain
 }
 
 // avail and used ring pages.
@@ -189,9 +197,8 @@ func (dev *device) guestEnqueue(c *vcpu.Ctx, q *queue, n int) []mem.PageID {
 
 // hostComplete performs the owner-side half of a transmit: fetch the ring
 // and payload through the DSM (skipped under bypass), charge vhost CPU.
+// The caller (a doorbell drain) holds the queue lock.
 func (dev *device) hostComplete(p *sim.Proc, q *queue, pages []mem.PageID) {
-	q.lock.Lock(p)
-	defer q.lock.Unlock()
 	dev.d.Touch(p, dev.cfg.Owner, q.availPage(), false)
 	for _, pg := range pages {
 		dev.d.Touch(p, dev.cfg.Owner, pg, false)
@@ -256,6 +263,7 @@ type netRxBypass struct {
 // Send transmits n bytes from the context's vCPU to an external address.
 // It returns once the packet is handed to the device (asynchronous wire
 // delivery), like a non-blocking sendmsg on a socket with buffer space.
+// The descriptor goes on the queue's ring; the kick message is a doorbell.
 func (nd *NetDev) Send(c *vcpu.Ctx, dst, n int) {
 	if n <= 0 {
 		panic("virtio: send of non-positive size")
@@ -264,8 +272,8 @@ func (nd *NetDev) Send(c *vcpu.Ctx, dst, n int) {
 	pages := nd.guestEnqueue(c, q, n)
 	nd.stats.TxPackets++
 	nd.stats.TxBytes += int64(n)
-	nd.layer.Send(c.Node(), nd.cfg.Owner, nd.svc, "tx", nd.kickSize(n),
-		netTx{queue: q.id, src: c.ID(), dst: dst, bytes: n, pages: pages})
+	q.pending = append(q.pending, netTx{queue: q.id, src: c.ID(), dst: dst, bytes: n, pages: pages})
+	nd.layer.Send(c.Node(), nd.cfg.Owner, nd.svc, "tx", nd.kickSize(n), q.id)
 }
 
 // Recv blocks the context's vCPU until a packet arrives for it, reads the
@@ -283,19 +291,31 @@ func (nd *NetDev) Recv(c *vcpu.Ctx) (from, n int) {
 func (nd *NetDev) handle(m *msg.Message) {
 	switch m.Kind {
 	case "tx":
-		tx := m.Payload.(netTx)
+		qid := m.Payload.(int)
 		nd.env.Spawn(nd.svc+".vhost-tx", func(p *sim.Proc) {
-			nd.hostComplete(p, nd.queues[tx.queue], tx.pages)
-			nd.ext.Send(nd.extAddr, tx.dst, tx.bytes, func() {
-				if inbox, ok := nd.clients[tx.dst]; ok {
-					inbox.Put(txWire{fromVCPU: tx.src, bytes: tx.bytes})
-				}
-			})
-			// TX-completion interrupt back to the queue's vCPU.
-			nd.stats.IRQs++
-			nd.vcpus.IPI(p, nd.cfg.Owner, nd.queues[tx.queue].vcpu, nil)
+			q := nd.queues[qid]
+			q.lock.Lock(p)
+			defer q.lock.Unlock()
+			// Drain the ring FIFO. A duplicated or delayed doorbell finds
+			// an empty ring (an earlier drain took its work) and idles.
+			for len(q.pending) > 0 {
+				tx := q.pending[0].(netTx)
+				q.pending = q.pending[1:]
+				nd.hostComplete(p, q, tx.pages)
+				nd.ext.Send(nd.extAddr, tx.dst, tx.bytes, func() {
+					if inbox, ok := nd.clients[tx.dst]; ok {
+						inbox.Put(txWire{fromVCPU: tx.src, bytes: tx.bytes})
+					}
+				})
+				// TX-completion interrupt back to the queue's vCPU.
+				nd.stats.IRQs++
+				nd.vcpus.IPI(p, nd.cfg.Owner, q.vcpu, nil)
+			}
 		})
 	case "rxbypass":
+		if m.Duplicate() {
+			return // the first copy already queued the packet
+		}
 		rb := m.Payload.(netRxBypass)
 		nd.rx[rb.vcpu].Put(rb.pkt)
 	default:

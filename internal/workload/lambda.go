@@ -90,7 +90,10 @@ func RunOpenLambda(vm *hypervisor.VM, cfg LambdaConfig, scale float64) LambdaRes
 
 			// Phase 2: extract into freshly allocated memory.
 			t := ctx.P.Now()
-			region := vm.Kernel.Alloc(ctx.P, ctx.Node(), ctx.ID(), extractBytes)
+			region, err := vm.Kernel.Alloc(ctx.P, ctx.Node(), ctx.ID(), extractBytes)
+			if err != nil {
+				panic(err) // the function cannot run without its working set
+			}
 			ctx.Compute(sim.Time(float64(cfg.ExtractCPU) * scale))
 			extract[i] = ctx.P.Now() - t
 

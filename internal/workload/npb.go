@@ -62,7 +62,12 @@ func (b NPB) RunInstance(vm *hypervisor.VM, ctx *vcpu.Ctx, scale float64) {
 	if data < mem.PageSize {
 		data = mem.PageSize
 	}
-	region := vm.Kernel.Alloc(ctx.P, ctx.Node(), ctx.ID(), data)
+	region, err := vm.Kernel.Alloc(ctx.P, ctx.Node(), ctx.ID(), data)
+	if err != nil {
+		// The benchmark cannot run without its dataset; a guest would be
+		// OOM-killed here.
+		panic(err)
+	}
 	computed := sim.Time(0)
 	total := sim.Time(float64(b.Compute) * scale)
 	for computed < total {

@@ -1,0 +1,69 @@
+package repro
+
+// Smoke tests for every runnable artifact in the repository: each cmd/
+// binary and examples/ program must build, run a deliberately tiny
+// configuration to completion, exit 0, and print something. They guard
+// the public entry points the package tests never execute.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runSmoke(t *testing.T, pkg string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", pkg}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %s %v failed: %v\noutput:\n%s", pkg, args, err, out)
+	}
+	if len(out) == 0 {
+		t.Fatalf("go run %s %v produced no output", pkg, args)
+	}
+	return string(out)
+}
+
+func TestSmokeCmdFragsim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run smoke test in -short mode")
+	}
+	runSmoke(t, "./cmd/fragsim", "-workload", "EP", "-scale", "0.01", "-vcpus", "2")
+}
+
+func TestSmokeCmdFragbench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run smoke test in -short mode")
+	}
+	runSmoke(t, "./cmd/fragbench", "-fig", "fig4", "-scale", "0.02")
+	// The listing must include the fault-recovery experiment.
+	out := runSmoke(t, "./cmd/fragbench", "-list")
+	if want := "recovery"; !strings.Contains(out, want) {
+		t.Fatalf("fragbench -list output lacks %q:\n%s", want, out)
+	}
+}
+
+func TestSmokeCmdFragsched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run smoke test in -short mode")
+	}
+	runSmoke(t, "./cmd/fragsched", "-scale", "0.02")
+}
+
+func TestSmokeExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run smoke tests in -short mode")
+	}
+	for _, pkg := range []string{
+		"./examples/quickstart",
+		"./examples/lemp",
+		"./examples/serverless",
+		"./examples/consolidation",
+	} {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			runSmoke(t, pkg)
+		})
+	}
+}
