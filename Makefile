@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke
+.PHONY: check fmt vet build test race bench-smoke trace-smoke
 
 check: fmt vet build race bench-smoke
 	@echo "check: all gates passed"
@@ -29,3 +29,9 @@ race:
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Runs one traced experiment end to end and validates the emitted Chrome
+# trace file; fragtrace exits non-zero if the critical-path categories do
+# not sum to the total or the JSON is malformed.
+trace-smoke:
+	$(GO) run ./cmd/fragtrace -experiment fig4 -scale 0.005 -out /tmp/fragtrace-smoke.json

@@ -6,8 +6,13 @@
 //	fragbench -fig fig8            # one figure
 //	fragbench -fig all             # every figure (EXPERIMENTS.md input)
 //	fragbench -fig fig12 -scale 1  # full paper scale
+//	fragbench -fig fig4 -scale 0.01 -trace fig4.json
 //
-// Run "fragbench -list" for the available experiment ids.
+// With -trace, every simulation the selected experiments build is traced,
+// a critical-path breakdown and per-node traffic table are appended to
+// the output, and one combined Chrome trace-event file is written (use a
+// single -fig and a small -scale; see cmd/fragtrace for the dedicated
+// tool). Run "fragbench -list" for the available experiment ids.
 package main
 
 import (
@@ -17,12 +22,15 @@ import (
 	"strings"
 
 	"repro/fragvisor"
+	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "experiment id (e.g. fig8) or 'all'")
 	scale := flag.Float64("scale", 0.1, "workload scale (1.0 = paper scale)")
 	seed := flag.Int64("seed", 42, "deterministic seed")
+	traceOut := flag.String("trace", "", "write a combined Chrome trace-event file and append critical-path + traffic tables")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -34,8 +42,14 @@ func main() {
 	if *fig != "all" {
 		names = []string{*fig}
 	}
+
+	o := experiments.Options{Scale: *scale, Seed: *seed}
+	if *traceOut != "" {
+		o.Trace = trace.NewSession()
+		o.Acct = experiments.NewTraffic()
+	}
 	for _, name := range names {
-		tab, err := fragvisor.RunExperiment(name, *scale, *seed)
+		tab, err := experiments.Run(name, o)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -44,4 +58,23 @@ func main() {
 		tab.Fprint(os.Stdout)
 		fmt.Println()
 	}
+	if *traceOut == "" {
+		return
+	}
+	o.Trace.CriticalPath().Table("Critical path").Fprint(os.Stdout)
+	fmt.Println()
+	o.Acct.Table().Fprint(os.Stdout)
+	f, err := os.Create(*traceOut)
+	if err == nil {
+		err = o.Trace.WriteChrome(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fragbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: %d spans written to %s (open in ui.perfetto.dev)\n",
+		o.Trace.SpanCount(), *traceOut)
 }

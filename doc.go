@@ -5,6 +5,9 @@
 // workloads, and a benchmark per evaluation figure.
 //
 // The public API lives in package repro/fragvisor; the benchmarks in this
-// package (bench_test.go) regenerate each figure. See README.md,
+// package (bench_test.go) regenerate each figure. Every experiment can
+// also run under the causal tracer (internal/trace, cmd/fragtrace),
+// which attributes end-to-end time to compute / DSM wait / network /
+// queueing and exports Chrome trace-event files. See README.md,
 // DESIGN.md, and EXPERIMENTS.md.
 package repro

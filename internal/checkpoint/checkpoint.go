@@ -26,6 +26,7 @@ import (
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // chunkBytes is the collection/persistence pipeline granularity.
@@ -45,6 +46,16 @@ type Image struct {
 func Take(p *sim.Proc, vm *hypervisor.VM, node int) *Image {
 	env := vm.Env
 	start := p.Now()
+	tr := trace.FromEnv(env)
+	sp := tr.Begin(p.Span(), trace.CatCheckpoint, node, "checkpoint")
+	if tr != nil {
+		prev := p.Span()
+		p.SetSpan(sp)
+		defer func() {
+			tr.End(sp)
+			p.SetSpan(prev)
+		}()
+	}
 
 	// Stage 1: pause every vCPU and dump its state. Dumps of co-located
 	// vCPUs serialize on their node's management thread; different
@@ -93,6 +104,11 @@ func Take(p *sim.Proc, vm *hypervisor.VM, node int) *Image {
 		}
 		sources++
 		env.Spawn(fmt.Sprintf("ckpt-collect-%d", n), func(cp *sim.Proc) {
+			if tr != nil {
+				csp := tr.Begin(sp, trace.CatCheckpoint, n, "ckpt.collect")
+				cp.SetSpan(csp)
+				defer tr.End(csp)
+			}
 			for off := int64(0); off < owned; off += chunkBytes {
 				chunk := owned - off
 				if chunk > chunkBytes {
@@ -107,6 +123,11 @@ func Take(p *sim.Proc, vm *hypervisor.VM, node int) *Image {
 	// Disk writer: metadata first, then memory chunks as they arrive.
 	writerDone := env.NewEvent()
 	env.Spawn("ckpt-writer", func(wp *sim.Proc) {
+		if tr != nil {
+			wsp := tr.Begin(sp, trace.CatCheckpoint, node, "ckpt.persist")
+			wp.SetSpan(wsp)
+			defer tr.End(wsp)
+		}
 		disk.Transfer(wp, int64(vm.NVCPU()*vm.Config().VCPU.StateBytes))
 		written := int64(0)
 		for written < img.Bytes {
@@ -128,6 +149,16 @@ func Restore(p *sim.Proc, vm *hypervisor.VM, img *Image) sim.Time {
 	start := p.Now()
 	disk := vm.Config().Cluster.Node(img.Node).SSD
 	env := vm.Env
+	tr := trace.FromEnv(env)
+	if tr != nil {
+		sp := tr.Begin(p.Span(), trace.CatCheckpoint, img.Node, "restore")
+		prev := p.Span()
+		p.SetSpan(sp)
+		defer func() {
+			tr.End(sp)
+			p.SetSpan(prev)
+		}()
+	}
 
 	disk.Transfer(p, int64(vm.NVCPU()*vm.Config().VCPU.StateBytes))
 	owners := make([]int, 0, len(img.extents))
@@ -150,7 +181,13 @@ func Restore(p *sim.Proc, vm *hypervisor.VM, img *Image) sim.Time {
 		}
 		ev := env.NewEvent()
 		waits = append(waits, ev)
+		parent := p.Span()
 		env.Spawn(fmt.Sprintf("ckpt-restore-%d", dest), func(rp *sim.Proc) {
+			if tr != nil {
+				rsp := tr.Begin(parent, trace.CatCheckpoint, dest, "ckpt.restore")
+				rp.SetSpan(rsp)
+				defer tr.End(rsp)
+			}
 			defer ev.Fire()
 			for off := int64(0); off < owned; off += chunkBytes {
 				chunk := owned - off
@@ -191,6 +228,9 @@ func sendChunk(p *sim.Proc, vm *hypervisor.VM, from, to int, size int) int {
 	fabric := vm.Config().Cluster.Fabric
 	inj := vm.Config().Fault
 	env := vm.Env
+	tr := trace.FromEnv(env)
+	csp := tr.Begin(p.Span(), trace.CatCheckpoint, from, "ckpt.chunk")
+	defer tr.End(csp)
 	rto := 2*fabric.Latency() + 8*fabric.TxTime(size) + 5*sim.Millisecond
 	backoff := 100 * sim.Microsecond
 	for {
@@ -210,7 +250,7 @@ func sendChunk(p *sim.Proc, vm *hypervisor.VM, from, to int, size int) int {
 			return to
 		}
 		ev := env.NewEvent()
-		fabric.Send(from, to, size, ev.Fire)
+		fabric.SendCtx(csp, from, to, size, ev.Fire)
 		if p.WaitTimeout(ev, rto) {
 			return to
 		}

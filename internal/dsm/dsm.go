@@ -43,6 +43,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // State is a node's local MSI-style state for one page.
@@ -222,11 +223,8 @@ type DSM struct {
 	seen      map[uint64]bool // fault ids the directory has accepted
 	fv        FaultView
 	excluded  map[int]bool // nodes fenced out by MarkDead (see fault.go)
+	tr        *trace.Tracer
 }
-
-// dsmInstances distinguishes service names when several DSMs (several VMs)
-// share one messaging layer.
-var dsmInstances int
 
 // New creates a DSM spanning the given hypervisor instances. nodes[0] is
 // the origin (the bootstrap slice). The same messaging layer may carry
@@ -251,9 +249,11 @@ func New(env *sim.Env, layer *msg.Layer, nodes []int, p Params) *DSM {
 		pending:    make(map[uint64]*pendingFault),
 		seen:       make(map[uint64]bool),
 		excluded:   make(map[int]bool),
+		tr:         trace.FromEnv(env),
 	}
-	dsmInstances++
-	d.service = fmt.Sprintf("dsm%d", dsmInstances)
+	// Instance numbers are per messaging layer, so service (and span) names
+	// depend only on construction order within one simulation.
+	d.service = fmt.Sprintf("dsm%d", layer.Instance("dsm"))
 	for i, n := range nodes {
 		if _, dup := d.idx[n]; dup {
 			panic(fmt.Sprintf("dsm: duplicate node %d", n))
@@ -415,6 +415,14 @@ func (d *DSM) ensure(p *sim.Proc, node int, pg mem.PageID, write bool) *localPag
 		// its faults must not reach (or block on) the directory.
 		return lp
 	}
+	var sp trace.SpanID
+	if d.tr != nil {
+		name := "dsm.read"
+		if write {
+			name = "dsm.write"
+		}
+		sp = d.tr.Begin(p.Span(), trace.CatDSM, node, name)
+	}
 	if write {
 		st.WriteFaults++
 	} else {
@@ -426,7 +434,7 @@ func (d *DSM) ensure(p *sim.Proc, node int, pg mem.PageID, write bool) *localPag
 	pf := &pendingFault{ev: d.env.NewEvent()}
 	d.pending[id] = pf
 	req := faultReq{id: id, page: pg, node: node, write: write}
-	d.layer.Send(node, d.origin, d.service+".dir", "fault", d.params.ReqBytes, req)
+	d.layer.SendCtx(sp, node, d.origin, d.service+".dir", "fault", d.params.ReqBytes, req)
 	if d.params.Retry.Timeout <= 0 {
 		p.Wait(pf.ev)
 	} else {
@@ -436,12 +444,14 @@ func (d *DSM) ensure(p *sim.Proc, node int, pg mem.PageID, write bool) *localPag
 		for !p.WaitTimeout(pf.ev, d.params.Retry.Timeout) {
 			if !d.alive(node) {
 				delete(d.pending, id)
+				d.tr.End(sp)
 				return lp
 			}
 			st.Retries++
-			d.layer.Send(node, d.origin, d.service+".dir", "fault", d.params.ReqBytes, req)
+			d.layer.SendCtx(sp, node, d.origin, d.service+".dir", "fault", d.params.ReqBytes, req)
 		}
 	}
+	d.tr.End(sp)
 	st.BytesMoved += pf.moved
 	if write && d.params.DirtyBitTracking && pg != d.dirtyPage {
 		// Hardware dirty-bit management writes the shared tracking
@@ -504,7 +514,13 @@ func (d *DSM) handleDir(m *msg.Message) {
 		return
 	}
 	d.seen[req.id] = true
+	parent := m.SpanID()
 	d.env.Spawn(fmt.Sprintf("%s.dir.%d", d.service, req.page), func(p *sim.Proc) {
+		if d.tr != nil {
+			dsp := d.tr.Begin(parent, trace.CatDSM, d.origin, "dsm.dir")
+			p.SetSpan(dsp)
+			defer d.tr.End(dsp)
+		}
 		lk := d.lock(req.page)
 		lk.Lock(p)
 		defer lk.Unlock()
@@ -570,9 +586,13 @@ func (d *DSM) grantWrite(p *sim.Proc, req faultReq) {
 	// Invalidate all replicas except the requester's, in parallel. The
 	// owner's replica is fetched-and-invalidated so its bytes reach the
 	// new owner.
+	// Iterate nodes in the DSM's fixed order (not map order): the spawn
+	// order of invalidation processes feeds the event sequence, and trace
+	// output must be byte-identical across same-seed runs.
 	var waits []*sim.Event
-	for n := range e.copyset {
-		if n == req.node {
+	parent := p.Span()
+	for _, n := range d.nodes {
+		if n == req.node || !e.copyset[n] {
 			continue
 		}
 		n := n
@@ -587,6 +607,11 @@ func (d *DSM) grantWrite(p *sim.Proc, req faultReq) {
 		ev := d.env.NewEvent()
 		waits = append(waits, ev)
 		d.env.Spawn(fmt.Sprintf("%s.inv.%d", d.service, req.page), func(sub *sim.Proc) {
+			if d.tr != nil {
+				isp := d.tr.Begin(parent, trace.CatDSM, d.origin, "dsm.inv")
+				sub.SetSpan(isp)
+				defer d.tr.End(isp)
+			}
 			defer ev.Fire()
 			if n == d.origin {
 				lp := d.page(d.origin, req.page)

@@ -22,8 +22,8 @@ func Ablation(o Options) *metrics.Table {
 
 	// Contextual DSM: page-table updates piggybacked on IPIs. Most
 	// visible on allocation-heavy IS (page-table churn).
-	full := workload.RunMultiProcess(newFragVM(4), workload.ByName("IS"), o.Scale)
-	noCtx := workload.RunMultiProcess(newFragVMWith(4, func(c *hypervisor.Config) {
+	full := workload.RunMultiProcess(newFragVM(o, 4), workload.ByName("IS"), o.Scale)
+	noCtx := workload.RunMultiProcess(newFragVMWith(o, 4, func(c *hypervisor.Config) {
 		c.DSM.ContextualPiggyback = false
 	}), workload.ByName("IS"), o.Scale)
 	t.AddRow("contextual-dsm", "NPB IS x4", full, noCtx, metrics.Ratio(noCtx, full))
@@ -31,7 +31,7 @@ func Ablation(o Options) *metrics.Table {
 	// Dirty-bit tracking: FragVisor disables it because the DSM already
 	// tracks writes; re-enabling it makes every write fault also touch a
 	// shared tracking page.
-	dirty := workload.RunMultiProcess(newFragVMWith(4, func(c *hypervisor.Config) {
+	dirty := workload.RunMultiProcess(newFragVMWith(o, 4, func(c *hypervisor.Config) {
 		c.DSM.DirtyBitTracking = true
 	}), workload.ByName("IS"), o.Scale)
 	t.AddRow("dirty-bit-off", "NPB IS x4", full, dirty, metrics.Ratio(dirty, full))
@@ -39,16 +39,16 @@ func Ablation(o Options) *metrics.Table {
 	// Multiqueue and DSM-bypass: most visible on delegated storage
 	// streams (Fig 7's setting): remote vCPUs reading through the
 	// device-owner node.
-	blkFull := blkStreams(newFragVM(4), 3, o)
-	blkSingleQ := blkStreams(newFragVMWith(4, func(c *hypervisor.Config) {
+	blkFull := blkStreams(newFragVM(o, 4), 3, o)
+	blkSingleQ := blkStreams(newFragVMWith(o, 4, func(c *hypervisor.Config) {
 		c.Multiqueue = false
 	}), 3, o)
 	t.AddRow("multiqueue", "virtio-blk x3 remote", blkFull, blkSingleQ,
 		metrics.Ratio(blkSingleQ, blkFull))
 	// DSM-bypass is measured single-stream so the SSD is not the shared
 	// bottleneck (with 3 streams the disk hides the data-path cost).
-	blkOne := blkStreams(newFragVM(2), 1, o)
-	blkOneNoBypass := blkStreams(newFragVMWith(2, func(c *hypervisor.Config) {
+	blkOne := blkStreams(newFragVM(o, 2), 1, o)
+	blkOneNoBypass := blkStreams(newFragVMWith(o, 2, func(c *hypervisor.Config) {
 		c.DSMBypass = false
 	}), 1, o)
 	t.AddRow("dsm-bypass", "virtio-blk x1 remote", blkOne, blkOneNoBypass,
@@ -56,13 +56,13 @@ func Ablation(o Options) *metrics.Table {
 
 	// Guest patches (false-sharing fix + NUMA awareness), on the
 	// allocation-heavy kernel where they matter most.
-	vanilla := workload.RunMultiProcess(newFragVMVanillaGuest(4), workload.ByName("IS"), o.Scale)
+	vanilla := workload.RunMultiProcess(newFragVMVanillaGuest(o, 4), workload.ByName("IS"), o.Scale)
 	t.AddRow("guest-patches", "NPB IS x4", full, vanilla, metrics.Ratio(vanilla, full))
 
 	// vCPU mobility is binary rather than a slowdown: without it the
 	// consolidation of Fig 14 is impossible. Report the migration cost
 	// that buys it.
-	vm := newFragVM(2)
+	vm := newFragVM(o, 2)
 	vm.Env.Spawn("migrate", func(p *sim.Proc) { vm.MigrateVCPU(p, 1, 0, 1) })
 	vm.Env.Run()
 	_, mean := vm.VCPUs.Migrations()
@@ -82,8 +82,8 @@ func blkStreams(vm *hypervisor.VM, n int, o Options) sim.Time {
 }
 
 // newFragVMWith builds a FragVisor VM with one configuration mutation.
-func newFragVMWith(n int, mutate func(*hypervisor.Config)) *hypervisor.VM {
-	vm := newFragVM(n)
+func newFragVMWith(o Options, n int, mutate func(*hypervisor.Config)) *hypervisor.VM {
+	vm := newFragVM(o, n)
 	cfg := vm.Config()
 	mutate(&cfg)
 	return hypervisor.New(cfg)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/overcommit"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Options tunes experiment size. Scale multiplies workload compute times
@@ -30,6 +31,15 @@ import (
 type Options struct {
 	Scale float64
 	Seed  int64
+	// Trace, when non-nil, attaches every simulation environment the
+	// experiment builds to the session, so one run yields one coherent
+	// causal trace across all compared systems (cmd/fragtrace, and
+	// cmd/fragbench -trace, set it). Nil runs are untraced and pay no
+	// tracing cost.
+	Trace *trace.Session
+	// Acct, when non-nil, registers every cluster the experiment builds,
+	// so per-node fabric traffic can be reported after the run.
+	Acct *Traffic
 }
 
 // DefaultOptions runs at 1/10 of paper scale.
@@ -48,11 +58,32 @@ func (o Options) check() Options {
 // guestMem is the guest RAM given to workload VMs.
 const guestMem = 16 << 30
 
+// newEnv builds the simulation environment for one compared system,
+// attaching it to the options' trace session when tracing is on. Tracers
+// must be installed before anything caches the environment's trace
+// context, so every builder goes through here first.
+func (o Options) newEnv(label string) *sim.Env {
+	env := sim.NewEnv()
+	if o.Trace != nil {
+		o.Trace.Attach(env, label)
+	}
+	return env
+}
+
+// observe registers a freshly built cluster for per-node traffic
+// accounting when the options ask for it.
+func (o Options) observe(label string, c *cluster.Cluster) *cluster.Cluster {
+	if o.Acct != nil {
+		o.Acct.Register(label, c)
+	}
+	return c
+}
+
 // newFragVM builds a FragVisor Aggregate VM with one vCPU per node on a
 // fresh simulated cluster.
-func newFragVM(n int) *hypervisor.VM {
-	env := sim.NewEnv()
-	c := cluster.NewDefault(env, n)
+func newFragVM(o Options, n int) *hypervisor.VM {
+	env := o.newEnv(fmt.Sprintf("fragvisor/%dnode", n))
+	c := o.observe("fragvisor", cluster.NewDefault(env, n))
 	nodes := make([]int, n)
 	for i := range nodes {
 		nodes[i] = i
@@ -61,9 +92,9 @@ func newFragVM(n int) *hypervisor.VM {
 }
 
 // newFragVMVanillaGuest is FragVisor with the unpatched guest (Fig 10).
-func newFragVMVanillaGuest(n int) *hypervisor.VM {
-	env := sim.NewEnv()
-	c := cluster.NewDefault(env, n)
+func newFragVMVanillaGuest(o Options, n int) *hypervisor.VM {
+	env := o.newEnv(fmt.Sprintf("fragvisor-vanilla/%dnode", n))
+	c := o.observe("fragvisor-vanilla", cluster.NewDefault(env, n))
 	nodes := make([]int, n)
 	for i := range nodes {
 		nodes[i] = i
@@ -75,9 +106,9 @@ func newFragVMVanillaGuest(n int) *hypervisor.VM {
 }
 
 // newGiantVM builds the GiantVM baseline with one vCPU per node.
-func newGiantVM(n int) *hypervisor.VM {
-	env := sim.NewEnv()
-	c := cluster.NewDefault(env, n)
+func newGiantVM(o Options, n int) *hypervisor.VM {
+	env := o.newEnv(fmt.Sprintf("giantvm/%dnode", n))
+	c := o.observe("giantvm", cluster.NewDefault(env, n))
 	nodes := make([]int, n)
 	for i := range nodes {
 		nodes[i] = i
@@ -86,17 +117,17 @@ func newGiantVM(n int) *hypervisor.VM {
 }
 
 // newOvercommitVM builds a single-node VM with nVCPU vCPUs on k pCPUs.
-func newOvercommitVM(nVCPU, k int) *hypervisor.VM {
-	env := sim.NewEnv()
-	c := cluster.NewDefault(env, 1)
+func newOvercommitVM(o Options, nVCPU, k int) *hypervisor.VM {
+	env := o.newEnv(fmt.Sprintf("overcommit/%dvcpu-%dpcpu", nVCPU, k))
+	c := o.observe("overcommit", cluster.NewDefault(env, 1))
 	return overcommit.New(c, 0, k, nVCPU, guestMem)
 }
 
 // newSingleMachineVM builds a non-overcommitted single-node VM: n vCPUs on
 // n pCPUs — the "vanilla Linux single machine" baseline of Fig 1.
-func newSingleMachineVM(n int) *hypervisor.VM {
-	env := sim.NewEnv()
-	c := cluster.NewDefault(env, 1)
+func newSingleMachineVM(o Options, n int) *hypervisor.VM {
+	env := o.newEnv(fmt.Sprintf("single-machine/%dvcpu", n))
+	c := o.observe("single-machine", cluster.NewDefault(env, 1))
 	return overcommit.New(c, 0, n, n, guestMem)
 }
 

@@ -29,33 +29,33 @@ func Fig1(o Options) *metrics.Table {
 		// Serial NPB: one instance per vCPU, private datasets.
 		for _, name := range []string{"EP", "IS", "CG"} {
 			b := workload.ByName(name)
-			vm := newFragVM(nodes)
+			vm := newFragVM(o, nodes)
 			dist := workload.RunMultiProcess(vm, b, o.Scale)
-			single := workload.RunMultiProcess(newSingleMachineVM(nodes), b, o.Scale)
+			single := workload.RunMultiProcess(newSingleMachineVM(o, nodes), b, o.Scale)
 			addRow("npb-"+name, nodes, dist, single, vm, dist)
 		}
 		// OpenMP-style multithreaded kernels across the sharing range.
 		for _, b := range workload.OMPSuite {
-			vm := newFragVM(nodes)
+			vm := newFragVM(o, nodes)
 			dist := workload.RunOMP(vm, b, o.Scale, o.Seed)
-			single := workload.RunOMP(newSingleMachineVM(nodes), b, o.Scale, o.Seed)
+			single := workload.RunOMP(newSingleMachineVM(o, nodes), b, o.Scale, o.Seed)
 			addRow(b.Name, nodes, dist, single, vm, dist)
 		}
 		// LEMP with varying page generation latency.
 		for _, proc := range []sim.Time{25 * sim.Millisecond, 100 * sim.Millisecond, 500 * sim.Millisecond} {
 			cfg := workload.DefaultLEMP(proc)
 			cfg.Requests = lempRequests(o)
-			vm := newFragVM(nodes)
+			vm := newFragVM(o, nodes)
 			dist := workload.RunLEMP(vm, cfg)
-			single := workload.RunLEMP(newSingleMachineVM(nodes), cfg)
+			single := workload.RunLEMP(newSingleMachineVM(o, nodes), cfg)
 			faults := float64(vm.DSM.TotalStats().Faults()) / dist.Elapsed.Seconds()
 			t.AddRow(fmt.Sprintf("lemp-%v", proc), nodes, faults,
 				dist.Throughput/single.Throughput)
 		}
 		// OpenLambda FaaS.
-		vm := newFragVM(nodes)
+		vm := newFragVM(o, nodes)
 		dist := workload.RunOpenLambda(vm, workload.DefaultLambda(), o.Scale)
-		single := workload.RunOpenLambda(newSingleMachineVM(nodes), workload.DefaultLambda(), o.Scale)
+		single := workload.RunOpenLambda(newSingleMachineVM(o, nodes), workload.DefaultLambda(), o.Scale)
 		addRow("openlambda", nodes, dist.Total, single.Total, vm, dist.Total)
 	}
 	t.AddNote("ratio < 1 is a DSM slowdown; the paper finds low-sharing workloads near 1 and high-sharing OMP down to ~0.05")

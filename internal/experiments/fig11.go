@@ -24,8 +24,8 @@ func Fig11(o Options) *metrics.Table {
 	for _, gb := range []int64{10, 20, 30} {
 		dataset := int64(float64(gb<<30) * o.Scale)
 		for _, n := range []int{2, 3, 4} {
-			frag := checkpointTime(newFragVM(n), dataset)
-			single := checkpointTime(newSingleMachineVM(n), dataset)
+			frag := checkpointTime(newFragVM(o, n), dataset)
+			single := checkpointTime(newSingleMachineVM(o, n), dataset)
 			overhead := metrics.Ratio(frag, single) - 1
 			t.AddRow(fmt.Sprintf("%dGB", gb), n, frag, single,
 				fmt.Sprintf("%.1f%%", overhead*100))

@@ -31,9 +31,9 @@ func Fig12(o Options) *metrics.Table {
 		for _, n := range []int{2, 3, 4} {
 			cfg := workload.DefaultLEMP(proc)
 			cfg.Requests = lempRequests(o)
-			frag := workload.RunLEMP(newFragVM(n), cfg).Throughput
-			giant := workload.RunLEMP(newGiantVM(n), cfg).Throughput
-			oc := workload.RunLEMP(newOvercommitVM(n, 1), cfg).Throughput
+			frag := workload.RunLEMP(newFragVM(o, n), cfg).Throughput
+			giant := workload.RunLEMP(newGiantVM(o, n), cfg).Throughput
+			oc := workload.RunLEMP(newOvercommitVM(o, n, 1), cfg).Throughput
 			t.AddRow(fmt.Sprintf("%v", proc), n, frag/oc, giant/oc, frag/giant)
 		}
 	}

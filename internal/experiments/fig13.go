@@ -20,9 +20,9 @@ func Fig13(o Options) *metrics.Table {
 		"vcpus", "system", "download", "extract", "detect", "total")
 	cfg := workload.DefaultLambda()
 	for _, n := range []int{2, 3, 4} {
-		oc := workload.RunOpenLambda(newOvercommitVM(n, 1), cfg, o.Scale)
-		frag := workload.RunOpenLambda(newFragVM(n), cfg, o.Scale)
-		giant := workload.RunOpenLambda(newGiantVM(n), cfg, o.Scale)
+		oc := workload.RunOpenLambda(newOvercommitVM(o, n, 1), cfg, o.Scale)
+		frag := workload.RunOpenLambda(newFragVM(o, n), cfg, o.Scale)
+		giant := workload.RunOpenLambda(newGiantVM(o, n), cfg, o.Scale)
 		t.AddRow(n, "fragvisor",
 			metrics.Ratio(oc.Download, frag.Download),
 			metrics.Ratio(oc.Extract, frag.Extract),

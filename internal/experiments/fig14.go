@@ -34,9 +34,12 @@ func Fig14(o Options) *metrics.Table {
 	ts := func(seconds float64) sim.Time { return sim.FromSeconds(seconds * o.Scale * 10) }
 
 	env := sim.NewEnv()
+	if o.Trace != nil {
+		o.Trace.Attach(env, "fig14/sched")
+	}
 	params := cluster.DefaultParams()
 	params.CoresPerNode = 12
-	clus := cluster.New(env, 4, params)
+	clus := o.observe("fig14", cluster.New(env, 4, params))
 	s := sched.New(env, sched.Config{Nodes: 4, CPUsPerNode: 12, Policy: sched.MinFrag})
 
 	const targetID = 100

@@ -32,9 +32,9 @@ func Fig4(o Options) *metrics.Table {
 		iters = 100
 	}
 	for _, n := range []int{2, 3, 4} {
-		base := workload.SharingLoop(newFragVM(n), workload.NoSharing, iters)
-		f := workload.SharingLoop(newFragVM(n), workload.FalseSharing, iters)
-		tr := workload.SharingLoop(newFragVM(n), workload.TrueSharing, iters)
+		base := workload.SharingLoop(newFragVM(o, n), workload.NoSharing, iters)
+		f := workload.SharingLoop(newFragVM(o, n), workload.FalseSharing, iters)
+		tr := workload.SharingLoop(newFragVM(o, n), workload.TrueSharing, iters)
 		t.AddRow(n, 1.0, metrics.Ratio(f, base), metrics.Ratio(tr, base))
 	}
 	t.AddNote("loop time normalized to the no-sharing case; paper: ~2x at 2 nodes, ~3x at 3, ~4x at 4; false == true")
@@ -55,9 +55,9 @@ func Fig5(o Options) *metrics.Table {
 		workload.WriteNoSharing, workload.WriteLowSharing,
 		workload.WriteModerateSharing, workload.WriteMaxSharing,
 	} {
-		vm := newFragVM(4)
+		vm := newFragVM(o, 4)
 		frag := workload.ConcurrentWrites(vm, pat, window)
-		oc := workload.ConcurrentWrites(newOvercommitVM(4, 1), pat, window)
+		oc := workload.ConcurrentWrites(newOvercommitVM(o, 4, 1), pat, window)
 		t.AddRow(pat.String(), float64(frag)/1e6, float64(oc)/1e6)
 		if pat == workload.WriteMaxSharing {
 			st := vm.Config().Cluster.Fabric.Stats()
@@ -80,9 +80,9 @@ func Fig6(o Options) *metrics.Table {
 		requests = 30
 	}
 	for _, size := range []int{1 << 10, 16 << 10, 256 << 10, 1 << 20} {
-		local := staticServe(newFragVM(2), 0, size, requests, false)
-		deleg := staticServe(newFragVM(2), 1, size, requests, false)
-		bypass := staticServe(newFragVM(2), 1, size, requests, true)
+		local := staticServe(newFragVM(o, 2), 0, size, requests, false)
+		deleg := staticServe(newFragVM(o, 2), 1, size, requests, false)
+		bypass := staticServe(newFragVM(o, 2), 1, size, requests, true)
 		t.AddRow(fmt.Sprintf("%dKB", size>>10), local, deleg, bypass, deleg/local)
 	}
 	t.AddNote("server on vCPU0 = local I/O (NIC on the bootstrap node); vCPU1 = delegated; %d requests, 10 connections", requests)
@@ -141,7 +141,7 @@ func Fig7(o Options) *metrics.Table {
 		total = 64 << 20
 	}
 	bw := func(vcpuID int, bypass, write bool) float64 {
-		vm := newFragVM(2)
+		vm := newFragVM(o, 2)
 		cfg := vm.Config()
 		cfg.DSMBypass = bypass
 		vm = hypervisor.New(cfg)
@@ -170,7 +170,7 @@ func Fig7(o Options) *metrics.Table {
 func MicroMigration(o Options) *metrics.Table {
 	t := metrics.NewTable("vCPU migration microbenchmark",
 		"migrations", "mean", "register-dump-share")
-	vm := newFragVM(2)
+	vm := newFragVM(o, 2)
 	const rounds = 50
 	vm.Env.Spawn("migrator", func(p *sim.Proc) {
 		for i := 0; i < rounds; i++ {

@@ -27,10 +27,10 @@ func Fig8(o Options) *metrics.Table {
 		"bench", "vcpus", "vs-1pCPU", "vs-2pCPU", "vs-3pCPU")
 	for _, b := range workload.Suite {
 		for _, n := range npbVCPUCounts {
-			frag := workload.RunMultiProcess(newFragVM(n), b, o.Scale)
+			frag := workload.RunMultiProcess(newFragVM(o, n), b, o.Scale)
 			row := []any{b.Name, n}
 			for _, k := range []int{1, 2, 3} {
-				oc := workload.RunMultiProcess(newOvercommitVM(n, k), b, o.Scale)
+				oc := workload.RunMultiProcess(newOvercommitVM(o, n, k), b, o.Scale)
 				row = append(row, metrics.Ratio(oc, frag))
 			}
 			t.AddRow(row...)
@@ -51,8 +51,8 @@ func Fig9(o Options) *metrics.Table {
 	for _, b := range workload.Suite {
 		row := []any{b.Name}
 		for _, n := range npbVCPUCounts {
-			frag := workload.RunMultiProcess(newFragVM(n), b, o.Scale)
-			giant := workload.RunMultiProcess(newGiantVM(n), b, o.Scale)
+			frag := workload.RunMultiProcess(newFragVM(o, n), b, o.Scale)
+			giant := workload.RunMultiProcess(newGiantVM(o, n), b, o.Scale)
 			row = append(row, metrics.Ratio(giant, frag))
 		}
 		t.AddRow(row...)
@@ -69,9 +69,9 @@ func Fig10(o Options) *metrics.Table {
 	t := metrics.NewTable("Figure 10: optimized vs vanilla guest kernel on FragVisor (speedup vs overcommit on 1 pCPU, 4 vCPUs)",
 		"bench", "optimized-guest", "vanilla-guest", "optimized/vanilla")
 	for _, b := range workload.Suite {
-		oc := workload.RunMultiProcess(newOvercommitVM(4, 1), b, o.Scale)
-		opt := workload.RunMultiProcess(newFragVM(4), b, o.Scale)
-		van := workload.RunMultiProcess(newFragVMVanillaGuest(4), b, o.Scale)
+		oc := workload.RunMultiProcess(newOvercommitVM(o, 4, 1), b, o.Scale)
+		opt := workload.RunMultiProcess(newFragVM(o, 4), b, o.Scale)
+		van := workload.RunMultiProcess(newFragVMVanillaGuest(o, 4), b, o.Scale)
 		t.AddRow(b.Name, metrics.Ratio(oc, opt), metrics.Ratio(oc, van),
 			metrics.Ratio(van, opt))
 	}
@@ -81,14 +81,14 @@ func Fig10(o Options) *metrics.Table {
 
 // npbSetTime is a helper used by benches: total time for one suite kernel
 // on one profile.
-func npbSetTime(profile string, b workload.NPB, n int, scale float64) sim.Time {
+func npbSetTime(o Options, profile string, b workload.NPB, n int) sim.Time {
 	switch profile {
 	case "fragvisor":
-		return workload.RunMultiProcess(newFragVM(n), b, scale)
+		return workload.RunMultiProcess(newFragVM(o, n), b, o.Scale)
 	case "giantvm":
-		return workload.RunMultiProcess(newGiantVM(n), b, scale)
+		return workload.RunMultiProcess(newGiantVM(o, n), b, o.Scale)
 	case "overcommit":
-		return workload.RunMultiProcess(newOvercommitVM(n, 1), b, scale)
+		return workload.RunMultiProcess(newOvercommitVM(o, n, 1), b, o.Scale)
 	default:
 		panic("experiments: unknown profile " + profile)
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // rule is one active next-K message fault.
@@ -46,6 +47,7 @@ type Injector struct {
 
 	onCrash []func(node int)
 	ctr     *metrics.Counters
+	tr      *trace.Tracer
 }
 
 // New creates an injector for the cluster and installs it as the fault
@@ -56,6 +58,7 @@ func New(c *cluster.Cluster) *Injector {
 	i := &Injector{
 		env:     c.Env,
 		c:       c,
+		tr:      trace.FromEnv(c.Env),
 		crashed: make(map[int]bool),
 		parted:  make(map[[2]int]bool),
 		cpuDeg:  make(map[int]float64),
@@ -119,6 +122,9 @@ func (i *Injector) Apply(s Schedule) {
 // fire applies one fault event now.
 func (i *Injector) fire(e Event) {
 	i.ctr.Inc("fault."+e.Kind.String(), 1)
+	if i.tr != nil {
+		i.tr.Instant(0, trace.CatFault, e.Node, i.tr.Key("fault", e.Kind.String()))
+	}
 	switch e.Kind {
 	case CrashNode:
 		if i.crashed[e.Node] {

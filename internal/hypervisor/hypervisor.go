@@ -30,6 +30,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vcpu"
 	"repro/internal/virtio"
 )
@@ -149,6 +150,7 @@ type VM struct {
 	dead     map[int]bool // slices declared failed (see fault.go)
 	hbStop   bool
 	ctr      *metrics.Counters
+	tr       *trace.Tracer
 }
 
 // New assembles (but does not boot) an Aggregate VM.
@@ -184,7 +186,7 @@ func New(cfg Config) *VM {
 	}
 
 	vm := &VM{Env: env, Layer: layer, Layout: &mem.Layout{}, cfg: cfg, nodes: nodes,
-		dead: make(map[int]bool), ctr: metrics.NewCounters()}
+		dead: make(map[int]bool), ctr: metrics.NewCounters(), tr: trace.FromEnv(env)}
 	vm.DSM = dsm.New(env, layer, nodes, cfg.DSM)
 	if cfg.Fault != nil {
 		cfg.Fault.AttachLayer(layer)
@@ -243,6 +245,15 @@ func (vm *VM) Boot(p *sim.Proc) {
 	}
 	vm.booted = true
 	boot := vm.nodes[0]
+	if vm.tr != nil {
+		sp := vm.tr.Begin(p.Span(), trace.CatTask, boot, "boot")
+		prev := p.Span()
+		p.SetSpan(sp)
+		defer func() {
+			vm.tr.End(sp)
+			p.SetSpan(prev)
+		}()
+	}
 	for _, n := range vm.nodes[1:] {
 		vm.Layer.Call(p, boot, n, vcpuService(vm), "handshake", 256, nil)
 	}
@@ -251,12 +262,9 @@ func (vm *VM) Boot(p *sim.Proc) {
 
 // vcpuService names a per-VM slice-management service. Each VM registers
 // its own so multiple VMs can share a messaging layer.
-var sliceServices int
-
 func vcpuService(vm *VM) string {
 	if vm.sliceSvc == "" {
-		sliceServices++
-		vm.sliceSvc = fmt.Sprintf("slice%d", sliceServices)
+		vm.sliceSvc = fmt.Sprintf("slice%d", vm.Layer.Instance("slice"))
 		for _, n := range vm.nodes {
 			vm.Layer.Handle(n, vm.sliceSvc, func(m *msg.Message) {
 				switch m.Kind {
@@ -275,9 +283,16 @@ func vcpuService(vm *VM) string {
 	return vm.sliceSvc
 }
 
-// Run spawns a guest program on a vCPU and returns its process.
+// Run spawns a guest program on a vCPU and returns its process. With
+// tracing enabled the program's whole lifetime becomes a root task span —
+// the unit the critical-path analyzer attributes.
 func (vm *VM) Run(vcpuID int, name string, fn func(*vcpu.Ctx)) *sim.Proc {
 	return vm.Env.Spawn(name, func(p *sim.Proc) {
+		if vm.tr != nil {
+			sp := vm.tr.Begin(0, trace.CatTask, vm.VCPUs.NodeOf(vcpuID), name)
+			p.SetSpan(sp)
+			defer vm.tr.End(sp)
+		}
 		fn(vm.VCPUs.NewCtx(p, vcpuID))
 	})
 }

@@ -51,6 +51,28 @@ func (c *Counters) String() string {
 	return b.String()
 }
 
+// Snapshot returns a copy of the current counter values. Mutating the
+// returned map does not affect the counter set.
+func (c *Counters) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(c.vals))
+	for name, v := range c.vals {
+		out[name] = v
+	}
+	return out
+}
+
+// Merge adds every counter from other into c, creating names c lacks.
+// Merging nil is a no-op. It is the aggregation primitive for per-node
+// reports: build one Counters per node (or cluster), Merge into a total.
+func (c *Counters) Merge(other *Counters) {
+	if other == nil {
+		return
+	}
+	for name, v := range other.vals {
+		c.vals[name] += v
+	}
+}
+
 // Table renders the counters as a titled two-column table.
 func (c *Counters) Table(title string) *Table {
 	t := NewTable(title, "counter", "value")

@@ -60,3 +60,33 @@ func TestRatio(t *testing.T) {
 		t.Fatal("Ratio wrong")
 	}
 }
+
+func TestCountersSnapshotAndMerge(t *testing.T) {
+	a := NewCounters()
+	a.Inc("msgs", 3)
+	a.Inc("bytes", 100)
+	b := NewCounters()
+	b.Inc("msgs", 2)
+	b.Inc("drops", 1)
+
+	a.Merge(b)
+	if got := a.Get("msgs"); got != 5 {
+		t.Fatalf("merged msgs = %d, want 5", got)
+	}
+	if got := a.Get("drops"); got != 1 {
+		t.Fatalf("merged drops = %d, want 1 (new name created)", got)
+	}
+	if got := b.Get("msgs"); got != 2 {
+		t.Fatalf("merge mutated its argument: msgs = %d, want 2", got)
+	}
+	a.Merge(nil) // no-op
+
+	snap := a.Snapshot()
+	if len(snap) != 3 || snap["bytes"] != 100 {
+		t.Fatalf("snapshot = %v, want 3 entries with bytes=100", snap)
+	}
+	snap["bytes"] = 0
+	if got := a.Get("bytes"); got != 100 {
+		t.Fatalf("mutating snapshot changed counters: bytes = %d", got)
+	}
+}

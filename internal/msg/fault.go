@@ -105,7 +105,7 @@ func (l *Layer) CallTimeout(p *sim.Proc, from, to int, service, kind string, siz
 	if timeout <= 0 {
 		panic("msg: CallTimeout needs a positive timeout")
 	}
-	m := &Message{From: from, To: to, Service: service, Kind: kind, Size: size, Payload: payload, layer: l}
+	m := &Message{From: from, To: to, Service: service, Kind: kind, Size: size, Payload: payload, layer: l, span: p.Span()}
 	m.replyEv = l.env.NewEvent()
 	l.deliver(m, nil)
 	if !p.WaitTimeout(m.replyEv, timeout) {

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Params tunes the messaging layer cost model.
@@ -52,8 +53,14 @@ type Message struct {
 	layer   *Layer
 	replyEv *sim.Event
 	reply   *Message
-	dup     bool // fault-injected duplicate delivery of an earlier message
+	dup     bool  // fault-injected duplicate delivery of an earlier message
+	span    int64 // tracing span covering this message's delivery
 }
+
+// SpanID returns the tracing span covering this message's delivery (0 when
+// the layer is untraced). Handlers use it as the causal parent for work the
+// message triggers.
+func (m *Message) SpanID() int64 { return m.span }
 
 // Duplicate reports whether this delivery is a fault-injected duplicate of
 // an earlier message. Handlers that are not naturally idempotent may use
@@ -81,6 +88,7 @@ func (m *Message) Reply(size int, payload any) {
 		From: m.To, To: m.From,
 		Service: m.Service, Kind: m.Kind + ".reply",
 		Size: size, Payload: payload, layer: m.layer,
+		span: m.span,
 	}
 	m.reply = resp
 	m.layer.deliver(resp, func() { ev.Fire() })
@@ -101,6 +109,8 @@ type Layer struct {
 	stats    map[string]*ServiceStats
 	filter   Filter
 	faults   FaultStats
+	tr       *trace.Tracer
+	services map[string]int
 }
 
 type serviceKey struct {
@@ -116,7 +126,21 @@ func NewLayer(env *sim.Env, net *netsim.Net, p Params) *Layer {
 		params:   p,
 		handlers: make(map[serviceKey]Handler),
 		stats:    make(map[string]*ServiceStats),
+		tr:       trace.FromEnv(env),
 	}
+}
+
+// Instance returns a fresh 1-based sequence number for the named service
+// family on this layer, e.g. Instance("dsm") → 1, 2, ... Components use it
+// to mint unique service names ("dsm1", "dsm2") that are deterministic per
+// simulation rather than per process, which keeps span and stats names
+// byte-identical across same-seed runs in the same binary.
+func (l *Layer) Instance(family string) int {
+	if l.services == nil {
+		l.services = make(map[string]int)
+	}
+	l.services[family]++
+	return l.services[family]
 }
 
 // Handle registers the handler for a service on a node, replacing any
@@ -129,14 +153,20 @@ func (l *Layer) Handle(node int, service string, h Handler) {
 // registered by delivery time; unrouteable messages panic, since a lost
 // hypervisor message is a protocol bug, not a recoverable condition.
 func (l *Layer) Send(from, to int, service, kind string, size int, payload any) {
-	m := &Message{From: from, To: to, Service: service, Kind: kind, Size: size, Payload: payload, layer: l}
+	l.SendCtx(0, from, to, service, kind, size, payload)
+}
+
+// SendCtx is Send with a causal tracing parent: the message's delivery
+// span is created as a child of the given span. Send uses parent 0.
+func (l *Layer) SendCtx(span int64, from, to int, service, kind string, size int, payload any) {
+	m := &Message{From: from, To: to, Service: service, Kind: kind, Size: size, Payload: payload, layer: l, span: span}
 	l.deliver(m, nil)
 }
 
 // Call delivers a request and blocks the process until the handler replies.
 // It returns the reply message.
 func (l *Layer) Call(p *sim.Proc, from, to int, service, kind string, size int, payload any) *Message {
-	m := &Message{From: from, To: to, Service: service, Kind: kind, Size: size, Payload: payload, layer: l}
+	m := &Message{From: from, To: to, Service: service, Kind: kind, Size: size, Payload: payload, layer: l, span: p.Span()}
 	m.replyEv = l.env.NewEvent()
 	l.deliver(m, nil)
 	p.Wait(m.replyEv)
@@ -154,17 +184,24 @@ func (l *Layer) deliver(m *Message, onDelivered func()) {
 	}
 	st.Messages++
 	st.Bytes += int64(m.Size)
+	if l.tr != nil {
+		// The delivery span covers serialization, flight, and handling;
+		// it stays open forever if fault injection eats the message —
+		// visibly, in the exported trace.
+		m.span = l.tr.Begin(m.span, trace.CatNet, m.To, l.tr.Key(m.Service, m.Kind))
+	}
 
 	handle := func() {
 		if onDelivered != nil {
 			onDelivered()
-			return
+		} else {
+			h, ok := l.handlers[serviceKey{m.To, m.Service}]
+			if !ok {
+				panic(fmt.Sprintf("msg: no handler for %s on node %d (kind %s)", m.Service, m.To, m.Kind))
+			}
+			h(m)
 		}
-		h, ok := l.handlers[serviceKey{m.To, m.Service}]
-		if !ok {
-			panic(fmt.Sprintf("msg: no handler for %s on node %d (kind %s)", m.Service, m.To, m.Kind))
-		}
-		h(m)
+		l.tr.End(m.span)
 	}
 	receive := func() { l.env.After(l.params.HandlerLat, handle) }
 
@@ -187,7 +224,7 @@ func (l *Layer) deliver(m *Message, onDelivered func()) {
 	// filter inside net.Send; the messaging layer adds duplication, which
 	// must be applied here so the duplicate can be delivered as a marked
 	// Message whose Reply is discarded.
-	l.net.Send(m.From, m.To, m.Size+l.params.HeaderBytes, receive)
+	l.net.SendCtx(m.span, m.From, m.To, m.Size+l.params.HeaderBytes, receive)
 	if verdict.Duplicate {
 		l.faults.Duplicated++
 		clone := *m

@@ -14,8 +14,10 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Outcome is a fault filter's verdict on one message: deliver normally,
@@ -41,6 +43,8 @@ type Net struct {
 	nics    map[int]*nic
 	stats   Stats
 	filter  Filter
+	tr      *trace.Tracer
+	nicSpan string // interned span name for NIC occupancy intervals
 }
 
 // nic tracks when an endpoint's egress link is next free.
@@ -67,13 +71,16 @@ func New(env *sim.Env, name string, latency sim.Time, gbps float64) *Net {
 	if latency < 0 {
 		panic("netsim: negative latency")
 	}
-	return &Net{
+	n := &Net{
 		env:     env,
 		name:    name,
 		latency: latency,
 		bps:     gbps * 1e9 / 8,
 		nics:    make(map[int]*nic),
+		tr:      trace.FromEnv(env),
 	}
+	n.nicSpan = n.tr.Key("nic", name)
+	return n
 }
 
 // Name returns the fabric's diagnostic name.
@@ -102,6 +109,14 @@ func (n *Net) SetFilter(f Filter) { n.filter = f }
 // lost its frame): dropped messages never invoke deliver, delayed ones
 // arrive late.
 func (n *Net) Send(from, to int, size int, deliver func()) sim.Time {
+	return n.SendCtx(0, from, to, size, deliver)
+}
+
+// SendCtx is Send with a causal tracing parent: when the fabric's
+// environment is traced, the sender-NIC occupancy interval [start, done]
+// is recorded as a network span under the given parent. Span 0 (and an
+// untraced environment) make it identical to Send.
+func (n *Net) SendCtx(span int64, from, to int, size int, deliver func()) sim.Time {
 	now := n.env.Now()
 	egress := n.nic(from)
 	start := egress.nextFree
@@ -112,6 +127,9 @@ func (n *Net) Send(from, to int, size int, deliver func()) sim.Time {
 	egress.nextFree = done
 	egress.sent++
 	egress.bytes += int64(size)
+	if n.tr != nil {
+		n.tr.Complete(span, trace.CatNet, from, n.nicSpan, start, done)
+	}
 	n.stats.Messages++
 	n.stats.Bytes += int64(size)
 	arrive := done + n.latency
@@ -142,6 +160,17 @@ func (n *Net) SendAndWait(p *sim.Proc, from, to int, size int) {
 
 // Stats returns a copy of the fabric-wide counters.
 func (n *Net) Stats() Stats { return n.stats }
+
+// Endpoints returns the ids of every endpoint that has a NIC record, in
+// ascending order — the iteration domain for per-node traffic reports.
+func (n *Net) Endpoints() []int {
+	ids := make([]int, 0, len(n.nics))
+	for id := range n.nics {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
 
 // EndpointSent returns the number of messages and bytes sent by an endpoint.
 func (n *Net) EndpointSent(id int) (msgs, bytes int64) {

@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Policy selects FragBFF's placement/consolidation objective.
@@ -108,6 +109,7 @@ type Scheduler struct {
 	env  *sim.Env
 	cfg  Config
 	free []int
+	tr   *trace.Tracer
 
 	placements map[int]Placement
 	durations  map[int]sim.Time
@@ -132,6 +134,7 @@ func New(env *sim.Env, cfg Config) *Scheduler {
 	s := &Scheduler{
 		env:        env,
 		cfg:        cfg,
+		tr:         trace.FromEnv(env),
 		free:       make([]int, cfg.Nodes),
 		placements: make(map[int]Placement),
 		durations:  make(map[int]sim.Time),
@@ -179,6 +182,13 @@ func (s *Scheduler) Stranded() int {
 
 func (s *Scheduler) log(kind string, vm, from, to, n int) {
 	s.events = append(s.events, Event{T: s.env.Now(), Kind: kind, VM: vm, From: from, To: to, N: n})
+	if s.tr != nil {
+		node := to
+		if node < 0 {
+			node = 0
+		}
+		s.tr.Instant(0, trace.CatSched, node, s.tr.Key("sched", kind))
+	}
 	if s.OnChange != nil {
 		s.OnChange()
 	}

@@ -106,7 +106,17 @@ type Env struct {
 	stopped bool
 	spawned int
 	procs   []*Proc
+	trace   any
 }
+
+// SetTrace attaches an opaque tracing context to the environment. The sim
+// core never interprets it; packages built on sim (see internal/trace)
+// retrieve it with Trace and type-assert. Held as `any` so the core stays
+// free of tracing dependencies.
+func (e *Env) SetTrace(t any) { e.trace = t }
+
+// Trace returns the context installed with SetTrace, or nil.
+func (e *Env) Trace() any { return e.trace }
 
 // NewEnv returns an empty simulation environment at time zero.
 func NewEnv() *Env {
@@ -233,7 +243,16 @@ type Proc struct {
 	done     *Event
 	started  bool
 	finished bool
+	span     int64
 }
+
+// SetSpan records the tracing span the process is currently executing
+// under. Zero means "no span". Like Env.SetTrace, the core only stores the
+// value; interpretation belongs to the tracing layer.
+func (p *Proc) SetSpan(id int64) { p.span = id }
+
+// Span returns the process's current tracing span id (0 if none).
+func (p *Proc) Span() int64 { return p.span }
 
 // Name returns the diagnostic name given at Spawn time.
 func (p *Proc) Name() string { return p.name }

@@ -1,0 +1,110 @@
+// Chrome trace-event exporter. Writes the JSON object format understood by
+// chrome://tracing and Perfetto (ui.perfetto.dev): spans become "X"
+// (complete) events, instants become "i" events, and metadata events name
+// each tracer as a process and each node as a thread.
+//
+// The output is deterministic down to the byte: events are emitted per
+// tracer in (start time, span id) order via a stable sort, timestamps are
+// formatted from integer nanoseconds with no floating point, and every
+// JSON object lists its keys in a fixed order. Same seed, same bytes —
+// which is what lets a golden file stand in for a determinism proof.
+
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// WriteChrome writes the session's spans as a Chrome trace-event JSON
+// object. Open spans (never ended — e.g. daemons, or messages lost to
+// fault injection) are clamped to the tracer's time horizon and flagged
+// with "open":1 in their args.
+func (s *Session) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[")
+	first := true
+	emit := func() {
+		if !first {
+			bw.WriteString(",\n")
+		} else {
+			bw.WriteString("\n")
+			first = false
+		}
+	}
+	for _, t := range s.tracers {
+		emit()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+			t.pid, strconv.Quote(t.label))
+		for _, node := range t.nodeIDs() {
+			emit()
+			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+				t.pid, node, strconv.Quote(nodeName(node)))
+		}
+		order := make([]int, len(t.spans))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return t.spans[order[a]].Start < t.spans[order[b]].Start
+		})
+		horizon := t.horizon()
+		for _, i := range order {
+			sp := &t.spans[i]
+			emit()
+			if sp.Instant {
+				fmt.Fprintf(bw, `{"ph":"i","pid":%d,"tid":%d,"ts":%s,"s":"t","cat":%s,"name":%s,"args":{"span":%d,"parent":%d}}`,
+					t.pid, sp.Node, usec(sp.Start), strconv.Quote(sp.Cat.String()),
+					strconv.Quote(sp.Name), sp.ID, sp.Parent)
+				continue
+			}
+			end, open := sp.End, 0
+			if end < 0 {
+				end, open = horizon, 1
+			}
+			fmt.Fprintf(bw, `{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"cat":%s,"name":%s,"args":{"span":%d,"parent":%d`,
+				t.pid, sp.Node, usec(sp.Start), usec(end-sp.Start), strconv.Quote(sp.Cat.String()),
+				strconv.Quote(sp.Name), sp.ID, sp.Parent)
+			if open != 0 {
+				bw.WriteString(`,"open":1`)
+			}
+			bw.WriteString("}}")
+		}
+	}
+	bw.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	return bw.Flush()
+}
+
+// usec renders a nanosecond time as microseconds with exactly three
+// decimals, using integer arithmetic only (trace-event ts/dur are in µs).
+func usec(t sim.Time) string {
+	return fmt.Sprintf("%d.%03d", t/1000, t%1000)
+}
+
+func nodeName(id int) string {
+	if id < 0 {
+		return "external"
+	}
+	return fmt.Sprintf("node%d", id)
+}
+
+// nodeIDs returns the sorted set of node ids that appear in the tracer's
+// spans.
+func (t *Tracer) nodeIDs() []int {
+	seen := make(map[int]bool)
+	var ids []int
+	for i := range t.spans {
+		n := t.spans[i].Node
+		if !seen[n] {
+			seen[n] = true
+			ids = append(ids, n)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Params is the distributed-vCPU cost model.
@@ -108,9 +109,8 @@ type Manager struct {
 
 	migrations    int64
 	migrationTime sim.Time
+	tr            *trace.Tracer
 }
-
-var managerInstances int
 
 // NewManager creates the vCPU set. placement[i] is the node hosting vCPU i;
 // pcpus[i] is the pCPU it is pinned to (several vCPUs may share one pCPU —
@@ -120,13 +120,13 @@ func NewManager(env *sim.Env, layer *msg.Layer, nodes []int, placement []int, pc
 	if len(placement) == 0 || len(placement) != len(pcpus) {
 		panic("vcpu: placement and pcpus must be equal-length and non-empty")
 	}
-	managerInstances++
 	m := &Manager{
 		env:     env,
 		layer:   layer,
-		service: fmt.Sprintf("vcpu%d", managerInstances),
+		service: fmt.Sprintf("vcpu%d", layer.Instance("vcpu")),
 		params:  p,
 		nodes:   append([]int(nil), nodes...),
+		tr:      trace.FromEnv(env),
 	}
 	for i := range placement {
 		m.vcpus = append(m.vcpus, &VCPU{id: i, node: placement[i], pcpu: pcpus[i]})
@@ -170,7 +170,7 @@ func (m *Manager) IPI(p *sim.Proc, fromNode, toVCPU int, deliver func()) {
 		}
 		return
 	}
-	m.layer.Send(fromNode, dest, m.service, "ipi", m.params.LocUpdateBytes, deliver)
+	m.layer.SendCtx(p.Span(), fromNode, dest, m.service, "ipi", m.params.LocUpdateBytes, deliver)
 }
 
 // handle processes vCPU-service messages at a slice.
@@ -219,6 +219,7 @@ func (m *Manager) Migrate(p *sim.Proc, vcpuID, destNode int, destPCPU *sim.PS) s
 	}
 	start := p.Now()
 	src := v.node
+	sp := m.tr.Begin(p.Span(), trace.CatMigrate, src, "vcpu.migrate")
 	p.Sleep(m.params.RegDump)
 	m.layer.Call(p, src, destNode, m.service, "migrate", m.params.StateBytes, vcpuID)
 	v.node = destNode
@@ -228,6 +229,7 @@ func (m *Manager) Migrate(p *sim.Proc, vcpuID, destNode int, destPCPU *sim.PS) s
 			m.layer.Send(destNode, n, m.service, "locupdate", m.params.LocUpdateBytes, vcpuID)
 		}
 	}
+	m.tr.End(sp)
 	d := p.Now() - start
 	m.migrations++
 	m.migrationTime += d
@@ -277,6 +279,12 @@ func (c *Ctx) Compute(d sim.Time) {
 	eff := c.M.params.CPUEfficiency
 	if eff <= 0 {
 		eff = 1
+	}
+	if tr := c.M.tr; tr != nil {
+		sp := tr.Begin(c.P.Span(), trace.CatCompute, c.V.node, "compute")
+		c.V.pcpu.ConsumeTime(c.P, sim.Time(float64(d)/eff))
+		tr.End(sp)
+		return
 	}
 	c.V.pcpu.ConsumeTime(c.P, sim.Time(float64(d)/eff))
 }

@@ -136,10 +136,7 @@ type device struct {
 	stats  Stats
 }
 
-var deviceInstances int
-
 func newDevice(kind string, env *sim.Env, d *dsm.DSM, layer *msg.Layer, vm *vcpu.Manager, layout *mem.Layout, params Params, cfg Config) *device {
-	deviceInstances++
 	dev := &device{
 		env:    env,
 		d:      d,
@@ -147,7 +144,7 @@ func newDevice(kind string, env *sim.Env, d *dsm.DSM, layer *msg.Layer, vm *vcpu
 		vcpus:  vm,
 		params: params,
 		cfg:    cfg,
-		svc:    fmt.Sprintf("%s%d", kind, deviceInstances),
+		svc:    fmt.Sprintf("%s%d", kind, layer.Instance(kind)),
 	}
 	nq := 1
 	if cfg.Multiqueue {

@@ -7,6 +7,7 @@ package repro
 
 import (
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -41,6 +42,20 @@ func TestSmokeCmdFragbench(t *testing.T) {
 	out := runSmoke(t, "./cmd/fragbench", "-list")
 	if want := "recovery"; !strings.Contains(out, want) {
 		t.Fatalf("fragbench -list output lacks %q:\n%s", want, out)
+	}
+}
+
+func TestSmokeCmdFragtrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run smoke test in -short mode")
+	}
+	out := runSmoke(t, "./cmd/fragtrace",
+		"-experiment", "fig4", "-scale", "0.005",
+		"-out", filepath.Join(t.TempDir(), "trace.json"))
+	for _, want := range []string{"Critical path", "dsm-wait", "partition the total exactly", "ui.perfetto.dev"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fragtrace output lacks %q:\n%s", want, out)
+		}
 	}
 }
 
