@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke trace-smoke
+.PHONY: check check-race fmt vet build test race bench-smoke trace-smoke
 
 check: fmt vet build race bench-smoke
 	@echo "check: all gates passed"
@@ -26,6 +26,10 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Uncached full-suite race pass; the dedicated CI race job runs this.
+check-race:
+	$(GO) test -race -count=1 ./...
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

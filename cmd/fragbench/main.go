@@ -7,6 +7,7 @@
 //	fragbench -fig all             # every figure (EXPERIMENTS.md input)
 //	fragbench -fig fig12 -scale 1  # full paper scale
 //	fragbench -fig fig4 -scale 0.01 -trace fig4.json
+//	fragbench -fig fig8 -json      # machine-readable tables
 //
 // With -trace, every simulation the selected experiments build is traced,
 // a critical-path breakdown and per-node traffic table are appended to
@@ -16,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +25,7 @@ import (
 
 	"repro/fragvisor"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -31,6 +34,7 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "workload scale (1.0 = paper scale)")
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	traceOut := flag.String("trace", "", "write a combined Chrome trace-event file and append critical-path + traffic tables")
+	jsonOut := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -48,22 +52,46 @@ func main() {
 		o.Trace = trace.NewSession()
 		o.Acct = experiments.NewTraffic()
 	}
+	type result struct {
+		Experiment string         `json:"experiment"`
+		Table      *metrics.Table `json:"table"`
+	}
+	var results []result
 	for _, name := range names {
 		tab, err := experiments.Run(name, o)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			results = append(results, result{name, tab})
+			continue
+		}
 		fmt.Printf("[%s]\n", name)
 		tab.Fprint(os.Stdout)
 		fmt.Println()
 	}
+	if *jsonOut {
+		if *traceOut != "" {
+			results = append(results,
+				result{"critical-path", o.Trace.CriticalPath().Table("Critical path")},
+				result{"traffic", o.Acct.Table()})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "fragbench:", err)
+			os.Exit(1)
+		}
+	}
 	if *traceOut == "" {
 		return
 	}
-	o.Trace.CriticalPath().Table("Critical path").Fprint(os.Stdout)
-	fmt.Println()
-	o.Acct.Table().Fprint(os.Stdout)
+	if !*jsonOut {
+		o.Trace.CriticalPath().Table("Critical path").Fprint(os.Stdout)
+		fmt.Println()
+		o.Acct.Table().Fprint(os.Stdout)
+	}
 	f, err := os.Create(*traceOut)
 	if err == nil {
 		err = o.Trace.WriteChrome(f)

@@ -1,0 +1,778 @@
+// Package fleet is the long-running cluster control plane of the
+// FragVisor reproduction: the standing manager the paper sketches in §7 —
+// instead of reducing or evicting a VM when its node runs short, capacity
+// is borrowed from other nodes and later *reclaimed* by migrating the
+// borrower's vCPUs, never by killing it.
+//
+// The fleet owns four concerns the one-shot sched replayer does not:
+//
+//   - Gang admission. An arriving VM asks for vCPUs AND guest memory; the
+//     fleet places it on one node (best fit) or all-or-nothing across
+//     fragments of several nodes (an Aggregate VM). Requests that cannot
+//     be satisfied wait in a priority queue (Critical > Standard > Batch)
+//     whose length and waiting times are the backpressure signal.
+//   - Borrow leases. Every non-home fragment of an Aggregate VM is a
+//     first-class lease of the lender node's capacity. The lender can
+//     reclaim: under ReclaimConsolidate the borrower's vCPUs migrate to
+//     other capacity (the paper's core claim — zero evictions); under
+//     ReclaimEvict (the baseline every other cluster manager implements)
+//     the borrower dies.
+//   - Background rebalancing. A periodic tick replays FragBFF's
+//     consolidation pass (sched.ConsolidationMoves, the same pure
+//     decision procedure) over the whole fleet to shrink fragmentation.
+//   - Failure handling. A heartbeat tick watches the fault injector's
+//     liveness; when a node dies, fragments hosted there are re-placed on
+//     survivors, and VMs bound to a live Aggregate VM are restarted from
+//     their checkpoint image (internal/checkpoint) on the new slices.
+//
+// Everything runs on the deterministic DES core: the same (config, trace,
+// seed) triple replays bit-identically, including the event log, which
+// tests compare across runs. Placement decisions reuse internal/sched's
+// pure helpers (BestFit, FragPlacement, ConsolidationMoves), so the fleet
+// is FragBFF with memory, leases, and time — given ample memory, no
+// faults and no reclaims it reproduces Fig 14's trace exactly (the
+// "fleet" experiment asserts this).
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Class is an admission priority class.
+type Class int
+
+// Priority classes, lowest first.
+const (
+	Batch Class = iota
+	Standard
+	Critical
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Batch:
+		return "batch"
+	case Standard:
+		return "standard"
+	case Critical:
+		return "critical"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ReclaimPolicy selects what happens to borrowers when a lender wants its
+// capacity back.
+type ReclaimPolicy int
+
+const (
+	// ReclaimConsolidate migrates the borrower's vCPUs to other capacity;
+	// the borrower keeps running (the paper's answer).
+	ReclaimConsolidate ReclaimPolicy = iota
+	// ReclaimEvict kills the borrower — the baseline cluster managers
+	// implement today.
+	ReclaimEvict
+)
+
+// String names the policy.
+func (r ReclaimPolicy) String() string {
+	switch r {
+	case ReclaimConsolidate:
+		return "consolidate"
+	case ReclaimEvict:
+		return "evict"
+	default:
+		return fmt.Sprintf("reclaim(%d)", int(r))
+	}
+}
+
+// Request is one VM arrival: a gang of vCPUs plus guest memory that must
+// be placed all-or-nothing.
+type Request struct {
+	ID       int
+	VCPUs    int
+	MemBytes int64
+	Priority Class
+	Arrival  sim.Time
+	Duration sim.Time // 0 = runs until evicted or the simulation ends
+}
+
+// memPerCPU is the per-vCPU memory quantum a request is accounted at:
+// guest memory is charged to fragments proportionally to their vCPUs,
+// rounded up to this quantum so accounting stays integral.
+func (r Request) memPerCPU() int64 {
+	if r.VCPUs <= 0 || r.MemBytes <= 0 {
+		return 0
+	}
+	return (r.MemBytes + int64(r.VCPUs) - 1) / int64(r.VCPUs)
+}
+
+// Event is one control-plane decision, for timelines and tests.
+type Event struct {
+	T     sim.Time
+	Kind  string // admit|gang|queue|dequeue|lease|release|reclaim|reclaim-done|reclaim-defer|evict|migrate|rebalance|handback|node-down|node-up|restart|requeue|finish
+	VM    int    // -1 when not about a VM
+	From  int    // source node (-1 if n/a)
+	To    int    // destination/subject node (-1 if n/a)
+	N     int    // vCPUs involved
+	Lease int    // lease id (-1 if n/a)
+}
+
+// Config sizes the managed fleet.
+type Config struct {
+	Nodes       int
+	CPUsPerNode int
+	MemPerNode  int64
+	Policy      sched.Policy  // fragment-placement objective (FragBFF)
+	Reclaim     ReclaimPolicy // what reclaim does to borrowers
+	// AutoReclaim lets admission trigger reclaims: when a request fits no
+	// node but a lender's lent capacity would complete one, the lender
+	// reclaims (consolidating or evicting the borrowers per Reclaim) and
+	// the request is placed there.
+	AutoReclaim bool
+	// RebalanceEvery runs the consolidation pass periodically (0 = only
+	// on departures, exactly sched's behavior).
+	RebalanceEvery sim.Time
+	// HeartbeatEvery polls node liveness against Fault (0 = no failure
+	// detection).
+	HeartbeatEvery sim.Time
+	// Horizon stops periodic ticks from rescheduling past this time so
+	// the event queue can drain (0 = tick until Stop is called).
+	Horizon sim.Time
+	// Fault, when set, is the liveness source for the heartbeat.
+	Fault *fault.Injector
+}
+
+// ClusterConfig derives a fleet config from simulated hardware: every
+// core and every byte of RAM of each node is placeable capacity.
+func ClusterConfig(c *cluster.Cluster, pol sched.Policy) Config {
+	return Config{
+		Nodes:       len(c.Nodes),
+		CPUsPerNode: c.Params.CoresPerNode,
+		MemPerNode:  c.Params.RAMBytes,
+		Policy:      pol,
+	}
+}
+
+// Stats summarizes a fleet run.
+type Stats struct {
+	Admitted   int // VMs placed (single-node or gang)
+	SingleNode int // placed on one node
+	Gangs      int // fragmented (Aggregate VM) placements
+	Queued     int // requests that waited at least once
+	Requeues   int // VMs sent back to the queue after losing a node
+	MaxQueue   int // high-water queue length
+
+	Leases           int // borrow leases granted
+	Reclaims         int // leases returned by consolidation migration
+	ReclaimsDeferred int // reclaim attempts left pending for capacity
+	Evictions        int // borrowers killed (ReclaimEvict only)
+
+	Migrations int // vCPUs moved by consolidation/reclaim
+	Rebalances int // rebalance ticks that moved something
+	Handbacks  int // Aggregate VMs consolidated to one node
+
+	NodeFailures int // node-down transitions observed
+	Restarts     int // lost fragments re-placed on survivors
+}
+
+// liveMove is deferred data-plane work: a vCPU migration the accounting
+// already committed, to be executed on bound/hooked live VMs.
+type liveMove struct {
+	vm, from, to, n int
+}
+
+// Fleet is the long-running control plane. Construct with New.
+type Fleet struct {
+	env *sim.Env
+	cfg Config
+	tr  *trace.Tracer
+
+	freeCPU []int
+	freeMem []int64
+	down    []bool
+
+	placements map[int]sched.Placement
+	reqs       map[int]Request
+	home       map[int]int
+	endAt      map[int]sim.Time
+	timers     map[int]*sim.Timer
+	queuedAt   map[int]sim.Time
+
+	leases    []*Lease
+	nextLease int
+
+	waiting []Request
+	events  []Event
+	stats   Stats
+	waits   []sim.Time
+
+	bound map[int]*binding
+
+	stopped          bool
+	hbTimer, rbTimer *sim.Timer
+
+	// OnMigrate, when set, runs for every committed vCPU move so an
+	// external live Aggregate VM can execute it (runs in a fleet process;
+	// see also Bind for the built-in integration).
+	OnMigrate func(p *sim.Proc, vmID, from, to, n int)
+	// OnEvict, when set, observes borrower evictions.
+	OnEvict func(vmID int)
+}
+
+// New creates a fleet over an idle cluster and arms its periodic ticks.
+func New(env *sim.Env, cfg Config) *Fleet {
+	if cfg.Nodes <= 0 || cfg.CPUsPerNode <= 0 {
+		panic("fleet: config needs nodes and CPUs")
+	}
+	if cfg.MemPerNode <= 0 {
+		panic("fleet: config needs per-node memory")
+	}
+	f := &Fleet{
+		env:        env,
+		cfg:        cfg,
+		tr:         trace.FromEnv(env),
+		freeCPU:    make([]int, cfg.Nodes),
+		freeMem:    make([]int64, cfg.Nodes),
+		down:       make([]bool, cfg.Nodes),
+		placements: map[int]sched.Placement{},
+		reqs:       map[int]Request{},
+		home:       map[int]int{},
+		endAt:      map[int]sim.Time{},
+		timers:     map[int]*sim.Timer{},
+		queuedAt:   map[int]sim.Time{},
+		bound:      map[int]*binding{},
+	}
+	for i := range f.freeCPU {
+		f.freeCPU[i] = cfg.CPUsPerNode
+		f.freeMem[i] = cfg.MemPerNode
+	}
+	f.armHeartbeat()
+	f.armRebalance()
+	return f
+}
+
+// Env returns the simulation environment the fleet runs in.
+func (f *Fleet) Env() *sim.Env { return f.env }
+
+// Stop cancels the periodic ticks so the event queue can drain.
+func (f *Fleet) Stop() {
+	f.stopped = true
+	if f.hbTimer != nil {
+		f.hbTimer.Cancel()
+	}
+	if f.rbTimer != nil {
+		f.rbTimer.Cancel()
+	}
+}
+
+// FreeCPU returns a copy of the per-node free-vCPU vector.
+func (f *Fleet) FreeCPU() []int { return append([]int(nil), f.freeCPU...) }
+
+// FreeMem returns a copy of the per-node free-memory vector.
+func (f *Fleet) FreeMem() []int64 { return append([]int64(nil), f.freeMem...) }
+
+// PlacementOf returns a copy of a VM's current placement (nil if absent).
+func (f *Fleet) PlacementOf(vmID int) sched.Placement {
+	pl, ok := f.placements[vmID]
+	if !ok {
+		return nil
+	}
+	out := make(sched.Placement, len(pl))
+	for n, c := range pl {
+		out[n] = c
+	}
+	return out
+}
+
+// Events returns the decision log.
+func (f *Fleet) Events() []Event { return append([]Event(nil), f.events...) }
+
+// Stats returns run statistics.
+func (f *Fleet) Stats() Stats { return f.stats }
+
+// QueueWaits returns every completed queue wait, in admission order.
+func (f *Fleet) QueueWaits() []sim.Time { return append([]sim.Time(nil), f.waits...) }
+
+// QueueLen returns the number of requests currently waiting.
+func (f *Fleet) QueueLen() int { return len(f.waiting) }
+
+// Snapshot is a point-in-time fleet observation, for utilization and
+// fragmentation timelines.
+type Snapshot struct {
+	T           sim.Time
+	UsedCPU     int
+	TotalCPU    int
+	FreeCPU     []int
+	Frags       int // partially-free, up nodes
+	QueueLen    int
+	Leases      int // active borrow leases
+	Running     int // admitted VMs
+	DownNodes   int
+	Utilization float64
+}
+
+// Snapshot observes the fleet now.
+func (f *Fleet) Snapshot() Snapshot {
+	s := Snapshot{
+		T:        f.env.Now(),
+		FreeCPU:  f.FreeCPU(),
+		QueueLen: len(f.waiting),
+		Running:  len(f.placements),
+	}
+	for n := 0; n < f.cfg.Nodes; n++ {
+		if f.down[n] {
+			s.DownNodes++
+			continue
+		}
+		s.TotalCPU += f.cfg.CPUsPerNode
+		s.UsedCPU += f.cfg.CPUsPerNode - f.freeCPU[n]
+		if f.freeCPU[n] > 0 && f.freeCPU[n] < f.cfg.CPUsPerNode {
+			s.Frags++
+		}
+	}
+	for _, l := range f.leases {
+		if l.State != LeaseReleased {
+			s.Leases++
+		}
+	}
+	if s.TotalCPU > 0 {
+		s.Utilization = float64(s.UsedCPU) / float64(s.TotalCPU)
+	}
+	return s
+}
+
+func (f *Fleet) log(kind string, vm, from, to, n, lease int) {
+	f.events = append(f.events, Event{T: f.env.Now(), Kind: kind, VM: vm, From: from, To: to, N: n, Lease: lease})
+	if f.tr != nil {
+		node := to
+		if node < 0 {
+			node = 0
+		}
+		f.tr.Instant(0, trace.CatFleet, node, f.tr.Key("fleet", kind))
+	}
+}
+
+// Submit schedules the arrival of every request. Call before Env.Run.
+func (f *Fleet) Submit(reqs []Request) {
+	for _, r := range reqs {
+		r := r
+		if r.VCPUs <= 0 {
+			panic(fmt.Sprintf("fleet: request %d needs vCPUs", r.ID))
+		}
+		if r.MemBytes < 0 {
+			panic(fmt.Sprintf("fleet: request %d has negative memory", r.ID))
+		}
+		// Reject requests no empty fleet could gang-place.
+		empty := make([]int, f.cfg.Nodes)
+		for i := range empty {
+			empty[i] = f.effCap(f.cfg.CPUsPerNode, f.cfg.MemPerNode, r.memPerCPU())
+		}
+		if _, ok := sched.FragPlacement(empty, r.VCPUs, f.cfg.Policy); !ok {
+			panic(fmt.Sprintf("fleet: request %d (%d vCPUs, %d B) is unsatisfiable even on an empty fleet", r.ID, r.VCPUs, r.MemBytes))
+		}
+		f.env.At(r.Arrival, func() { f.arrive(r) })
+	}
+}
+
+// effCap caps a node's placeable vCPUs by both free CPUs and free memory
+// at the request's per-vCPU quantum.
+func (f *Fleet) effCap(freeCPU int, freeMem, mpc int64) int {
+	e := freeCPU
+	if mpc > 0 {
+		if byMem := int(freeMem / mpc); byMem < e {
+			e = byMem
+		}
+	}
+	return e
+}
+
+// effective returns the per-node placeable-vCPU vector for a request with
+// the given memory quantum: down nodes contribute nothing, up nodes the
+// minimum of their CPU and memory headroom.
+func (f *Fleet) effective(mpc int64) []int {
+	eff := make([]int, f.cfg.Nodes)
+	for n := range eff {
+		if f.down[n] {
+			continue
+		}
+		eff[n] = f.effCap(f.freeCPU[n], f.freeMem[n], mpc)
+	}
+	return eff
+}
+
+func (f *Fleet) arrive(r Request) {
+	if f.tryAdmit(r) {
+		f.verify()
+		return
+	}
+	f.enqueue(r)
+	f.verify()
+}
+
+func (f *Fleet) enqueue(r Request) {
+	if _, ok := f.queuedAt[r.ID]; !ok {
+		f.queuedAt[r.ID] = f.env.Now()
+		f.stats.Queued++
+	}
+	f.waiting = append(f.waiting, r)
+	sort.SliceStable(f.waiting, func(i, j int) bool {
+		a, b := f.waiting[i], f.waiting[j]
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority
+		}
+		if a.Arrival != b.Arrival {
+			return a.Arrival < b.Arrival
+		}
+		return a.ID < b.ID
+	})
+	if len(f.waiting) > f.stats.MaxQueue {
+		f.stats.MaxQueue = len(f.waiting)
+	}
+	f.log("queue", r.ID, -1, -1, r.VCPUs, -1)
+}
+
+// tryAdmit gang-places a request: one node best-fit, then all-or-nothing
+// fragments, then (when enabled) an admission-driven reclaim. It returns
+// false when the request must wait.
+func (f *Fleet) tryAdmit(r Request) bool {
+	eff := f.effective(r.memPerCPU())
+	if node, ok := sched.BestFit(eff, r.VCPUs); ok {
+		f.commit(r, sched.Placement{node: r.VCPUs}, "admit")
+		return true
+	}
+	if pl, ok := sched.FragPlacement(eff, r.VCPUs, f.cfg.Policy); ok {
+		f.commit(r, pl, "gang")
+		return true
+	}
+	if f.cfg.AutoReclaim && f.reclaimFor(r) {
+		return true
+	}
+	return false
+}
+
+// commit applies a gang placement atomically and schedules the departure.
+func (f *Fleet) commit(r Request, pl sched.Placement, kind string) {
+	if _, dup := f.placements[r.ID]; dup {
+		panic(fmt.Sprintf("fleet: VM %d admitted twice", r.ID))
+	}
+	mpc := r.memPerCPU()
+	for _, n := range placementNodes(pl) {
+		c := pl[n]
+		if f.down[n] || f.freeCPU[n] < c || f.freeMem[n] < int64(c)*mpc {
+			panic(fmt.Sprintf("fleet: overcommitting node %d for VM %d", n, r.ID))
+		}
+		f.freeCPU[n] -= c
+		f.freeMem[n] -= int64(c) * mpc
+	}
+	f.placements[r.ID] = pl
+	f.reqs[r.ID] = r
+	f.home[r.ID] = homeOf(pl)
+	if qa, ok := f.queuedAt[r.ID]; ok {
+		f.waits = append(f.waits, f.env.Now()-qa)
+		delete(f.queuedAt, r.ID)
+		f.log("dequeue", r.ID, -1, -1, r.VCPUs, -1)
+	}
+	f.stats.Admitted++
+	if len(pl) == 1 {
+		f.stats.SingleNode++
+		f.log(kind, r.ID, -1, placementNodes(pl)[0], r.VCPUs, -1)
+	} else {
+		f.stats.Gangs++
+		f.log(kind, r.ID, -1, -1, r.VCPUs, -1)
+	}
+	if r.Duration > 0 {
+		f.endAt[r.ID] = f.env.Now() + r.Duration
+		f.timers[r.ID] = f.env.After(r.Duration, func() { f.depart(r.ID) })
+	}
+	f.syncLeases(r.ID)
+}
+
+func (f *Fleet) depart(vmID int) {
+	f.release(vmID)
+	f.log("finish", vmID, -1, -1, 0, -1)
+	f.maintain()
+	f.verify()
+}
+
+// release frees every resource a VM holds and drops its leases.
+func (f *Fleet) release(vmID int) {
+	pl, ok := f.placements[vmID]
+	if !ok {
+		panic(fmt.Sprintf("fleet: release of unknown VM %d", vmID))
+	}
+	mpc := f.reqs[vmID].memPerCPU()
+	for _, n := range placementNodes(pl) {
+		if !f.down[n] {
+			f.freeCPU[n] += pl[n]
+			f.freeMem[n] += int64(pl[n]) * mpc
+		}
+	}
+	delete(f.placements, vmID)
+	delete(f.reqs, vmID)
+	delete(f.home, vmID)
+	delete(f.endAt, vmID)
+	if tm, ok := f.timers[vmID]; ok {
+		tm.Cancel()
+		delete(f.timers, vmID)
+	}
+	for _, l := range f.leases {
+		if l.VM == vmID && l.State != LeaseReleased {
+			f.releaseLease(l)
+		}
+	}
+}
+
+// maintain is the control loop run after every capacity change: admit
+// waiting requests, retry deferred reclaims, then consolidate.
+func (f *Fleet) maintain() {
+	f.drainQueue()
+	work := f.retryReclaims()
+	work = append(work, f.consolidateAll()...)
+	f.runLive(work)
+}
+
+func (f *Fleet) drainQueue() {
+	still := f.waiting[:0]
+	for _, r := range f.waiting {
+		if !f.tryAdmit(r) {
+			still = append(still, r)
+		}
+	}
+	f.waiting = append([]Request(nil), still...)
+}
+
+// consolidateAll replays FragBFF's consolidation pass over every
+// multi-node VM, bounded by each VM's memory headroom: the free vector
+// handed to the pure planner is the memory-capped effective capacity, so
+// a move never lands where the moved vCPUs' memory share cannot follow.
+func (f *Fleet) consolidateAll() []liveMove {
+	var ids []int
+	for id, pl := range f.placements {
+		if len(pl) > 1 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	var work []liveMove
+	for _, id := range ids {
+		pl := f.placements[id]
+		eff := f.effective(f.reqs[id].memPerCPU())
+		moves := sched.ConsolidationMoves(eff, f.cfg.CPUsPerNode, pl, f.cfg.Policy)
+		for _, m := range moves {
+			if !f.moveAccounting(id, m.From, m.To, m.N) {
+				break
+			}
+			work = append(work, liveMove{id, m.From, m.To, m.N})
+		}
+		f.syncLeases(id)
+		if len(f.placements[id]) == 1 {
+			f.stats.Handbacks++
+			f.log("handback", id, -1, placementNodes(f.placements[id])[0], 0, -1)
+		}
+	}
+	return work
+}
+
+// moveAccounting commits one vCPU move (CPU and memory share) in the
+// control plane's books. It refuses moves the current state no longer
+// supports and reports whether it applied.
+func (f *Fleet) moveAccounting(vmID, from, to, n int) bool {
+	pl := f.placements[vmID]
+	mpc := f.reqs[vmID].memPerCPU()
+	if pl == nil || pl[from] < n || f.down[to] ||
+		f.freeCPU[to] < n || f.freeMem[to] < int64(n)*mpc {
+		return false
+	}
+	f.freeCPU[to] -= n
+	f.freeMem[to] -= int64(n) * mpc
+	if !f.down[from] {
+		f.freeCPU[from] += n
+		f.freeMem[from] += int64(n) * mpc
+	}
+	pl[from] -= n
+	pl[to] += n
+	if pl[from] == 0 {
+		delete(pl, from)
+	}
+	f.stats.Migrations += n
+	f.log("migrate", vmID, from, to, n, -1)
+	return true
+}
+
+// runLive executes committed moves on live VMs (bound or hooked) in a
+// fleet process; the control plane's books are already up to date, the
+// data plane converges at real migration latency.
+func (f *Fleet) runLive(work []liveMove) {
+	if len(work) == 0 || (f.OnMigrate == nil && len(f.bound) == 0) {
+		return
+	}
+	f.env.Spawn("fleet-live", func(p *sim.Proc) {
+		for _, w := range work {
+			if b := f.bound[w.vm]; b != nil {
+				b.migrate(p, w.from, w.to, w.n)
+			}
+			if f.OnMigrate != nil {
+				f.OnMigrate(p, w.vm, w.from, w.to, w.n)
+			}
+		}
+	})
+}
+
+// armRebalance schedules the periodic defragmentation tick.
+func (f *Fleet) armRebalance() {
+	if f.cfg.RebalanceEvery <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		if f.stopped {
+			return
+		}
+		work := f.consolidateAll()
+		if len(work) > 0 {
+			f.stats.Rebalances++
+			f.log("rebalance", -1, -1, -1, len(work), -1)
+		}
+		f.runLive(work)
+		f.drainQueue()
+		f.verify()
+		f.rbTimer = f.reschedule(f.cfg.RebalanceEvery, tick)
+	}
+	f.rbTimer = f.env.After(f.cfg.RebalanceEvery, tick)
+}
+
+// reschedule arms the next periodic tick unless it would pass the horizon.
+func (f *Fleet) reschedule(every sim.Time, tick func()) *sim.Timer {
+	if f.stopped || (f.cfg.Horizon > 0 && f.env.Now()+every > f.cfg.Horizon) {
+		return nil
+	}
+	return f.env.After(every, tick)
+}
+
+// placementNodes returns the placement's node ids, sorted.
+func placementNodes(pl sched.Placement) []int {
+	out := make([]int, 0, len(pl))
+	for n := range pl {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// homeOf picks a placement's home fragment: the largest, lowest node id
+// on ties. Every other fragment is borrowed capacity under a lease.
+func homeOf(pl sched.Placement) int {
+	best, bestC := -1, -1
+	for _, n := range placementNodes(pl) {
+		if pl[n] > bestC {
+			best, bestC = n, pl[n]
+		}
+	}
+	return best
+}
+
+// Verify checks every control-plane invariant and panics on violation:
+// per-node CPU/memory books balance against placements, nothing exceeds
+// capacity, and the lease ledger matches the fragments exactly (no
+// double-booked lease). Tests call it; internal mutations call it at
+// every quiescent point.
+func (f *Fleet) Verify() { f.verify() }
+
+func (f *Fleet) verify() {
+	usedCPU := make([]int, f.cfg.Nodes)
+	usedMem := make([]int64, f.cfg.Nodes)
+	var ids []int
+	for id := range f.placements {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		mpc := f.reqs[id].memPerCPU()
+		for _, n := range placementNodes(f.placements[id]) {
+			usedCPU[n] += f.placements[id][n]
+			usedMem[n] += int64(f.placements[id][n]) * mpc
+		}
+	}
+	for n := 0; n < f.cfg.Nodes; n++ {
+		if f.down[n] {
+			if usedCPU[n] != 0 {
+				panic(fmt.Sprintf("fleet: down node %d still hosts %d vCPUs", n, usedCPU[n]))
+			}
+			continue
+		}
+		if f.freeCPU[n] < 0 || f.freeCPU[n]+usedCPU[n] != f.cfg.CPUsPerNode {
+			panic(fmt.Sprintf("fleet: node %d CPU books broken: free %d + used %d != %d",
+				n, f.freeCPU[n], usedCPU[n], f.cfg.CPUsPerNode))
+		}
+		if f.freeMem[n] < 0 || f.freeMem[n]+usedMem[n] != f.cfg.MemPerNode {
+			panic(fmt.Sprintf("fleet: node %d memory books broken: free %d + used %d != %d",
+				n, f.freeMem[n], usedMem[n], f.cfg.MemPerNode))
+		}
+	}
+	// Lease ledger: exactly one active lease per non-home fragment,
+	// none anywhere else.
+	type key struct{ vm, node int }
+	active := map[key]*Lease{}
+	for _, l := range f.leases {
+		if l.State == LeaseReleased {
+			continue
+		}
+		k := key{l.VM, l.Node}
+		if active[k] != nil {
+			panic(fmt.Sprintf("fleet: leases %d and %d double-book VM %d on node %d",
+				active[k].ID, l.ID, l.VM, l.Node))
+		}
+		active[k] = l
+		pl := f.placements[l.VM]
+		if pl == nil || pl[l.Node] == 0 || f.home[l.VM] == l.Node {
+			panic(fmt.Sprintf("fleet: lease %d covers no fragment (VM %d node %d)", l.ID, l.VM, l.Node))
+		}
+		if l.CPUs != pl[l.Node] {
+			panic(fmt.Sprintf("fleet: lease %d books %d vCPUs, fragment has %d", l.ID, l.CPUs, pl[l.Node]))
+		}
+	}
+	for _, id := range ids {
+		for _, n := range placementNodes(f.placements[id]) {
+			if n != f.home[id] && active[key{id, n}] == nil {
+				panic(fmt.Sprintf("fleet: fragment of VM %d on node %d has no lease", id, n))
+			}
+		}
+	}
+}
+
+// GenerateBurst synthesizes n VM arrivals over the window: sizes from the
+// paper's Azure-like distribution (via sched.GenerateBurst), memory at
+// memPerCPU per vCPU, and priorities drawn 1/5 Critical, 3/10 Batch, the
+// rest Standard.
+func GenerateBurst(rng *rand.Rand, n int, window sim.Time, memPerCPU int64) []Request {
+	base := sched.GenerateBurst(rng, n, window)
+	out := make([]Request, len(base))
+	for i, r := range base {
+		pri := Standard
+		switch d := rng.Intn(10); {
+		case d < 2:
+			pri = Critical
+		case d < 5:
+			pri = Batch
+		}
+		out[i] = Request{
+			ID:       r.ID,
+			VCPUs:    r.VCPUs,
+			MemBytes: int64(r.VCPUs) * memPerCPU,
+			Priority: pri,
+			Arrival:  r.Arrival,
+			Duration: r.Duration,
+		}
+	}
+	return out
+}

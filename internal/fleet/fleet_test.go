@@ -1,0 +1,248 @@
+package fleet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+const gig = int64(1) << 30
+
+func newFleet(t *testing.T, cfg Config) (*sim.Env, *Fleet) {
+	t.Helper()
+	env := sim.NewEnv()
+	return env, New(env, cfg)
+}
+
+func TestSingleNodeAdmission(t *testing.T) {
+	env, f := newFleet(t, Config{Nodes: 4, CPUsPerNode: 8, MemPerNode: 32 * gig, Policy: sched.MinFrag})
+	f.Submit([]Request{{ID: 1, VCPUs: 4, MemBytes: 8 * gig, Arrival: 0, Duration: sim.Second}})
+	env.RunUntil(1)
+	pl := f.PlacementOf(1)
+	if len(pl) != 1 || pl[0] != 4 {
+		t.Fatalf("placement = %v, want 4 vCPUs on node 0", pl)
+	}
+	if got := f.Stats().SingleNode; got != 1 {
+		t.Fatalf("single-node placements = %d", got)
+	}
+	f.Verify()
+}
+
+func TestGangPlacementGrantsLeases(t *testing.T) {
+	env, f := newFleet(t, Config{Nodes: 2, CPUsPerNode: 4, MemPerNode: 8 * gig, Policy: sched.MinNodes})
+	f.Submit([]Request{
+		{ID: 1, VCPUs: 3, MemBytes: gig, Arrival: 0, Duration: 10 * sim.Second},
+		{ID: 2, VCPUs: 3, MemBytes: gig, Arrival: 0, Duration: 10 * sim.Second},
+		// 1 CPU free per node: only a gang placement fits.
+		{ID: 3, VCPUs: 2, MemBytes: gig, Arrival: 1, Duration: 10 * sim.Second},
+	})
+	env.RunUntil(2)
+	pl := f.PlacementOf(3)
+	if len(pl) != 2 || pl[0] != 1 || pl[1] != 1 {
+		t.Fatalf("placement of VM3 = %v, want 1+1", pl)
+	}
+	if f.Stats().Gangs != 1 {
+		t.Fatalf("gangs = %d, want 1", f.Stats().Gangs)
+	}
+	// Exactly one lease: the non-home fragment.
+	var active []Lease
+	for _, l := range f.Leases() {
+		if l.State == LeaseActive {
+			active = append(active, l)
+		}
+	}
+	if len(active) != 1 || active[0].VM != 3 || active[0].Node != 1 {
+		t.Fatalf("active leases = %+v, want one for VM3 on node 1", active)
+	}
+	f.Verify()
+}
+
+func TestMemoryConstrainedPlacement(t *testing.T) {
+	// Plenty of CPUs but memory forces fragmentation: an 8-vCPU/8-GiB
+	// request cannot fit one node's 4 GiB.
+	env, f := newFleet(t, Config{Nodes: 2, CPUsPerNode: 8, MemPerNode: 4 * gig, Policy: sched.MinNodes})
+	f.Submit([]Request{{ID: 1, VCPUs: 8, MemBytes: 8 * gig, Arrival: 0, Duration: sim.Second}})
+	env.RunUntil(1)
+	pl := f.PlacementOf(1)
+	if len(pl) != 2 || pl[0] != 4 || pl[1] != 4 {
+		t.Fatalf("placement = %v, want 4+4 forced by memory", pl)
+	}
+	f.Verify()
+}
+
+func TestPriorityQueueOrdering(t *testing.T) {
+	env, f := newFleet(t, Config{Nodes: 1, CPUsPerNode: 4, MemPerNode: 8 * gig, Policy: sched.MinFrag})
+	f.Submit([]Request{
+		{ID: 1, VCPUs: 4, MemBytes: gig, Arrival: 0, Duration: 2 * sim.Second},
+		// Both wait; the later-arriving Critical one must win the free slot.
+		{ID: 2, VCPUs: 4, MemBytes: gig, Priority: Batch, Arrival: 1, Duration: sim.Second},
+		{ID: 3, VCPUs: 4, MemBytes: gig, Priority: Critical, Arrival: 2, Duration: sim.Second},
+	})
+	env.RunUntil(2*sim.Second + sim.Millisecond)
+	if f.PlacementOf(3) == nil {
+		t.Fatal("critical request not admitted first")
+	}
+	if f.PlacementOf(2) != nil {
+		t.Fatal("batch request jumped the critical one")
+	}
+	if f.Stats().Queued != 2 || f.Stats().MaxQueue != 2 {
+		t.Fatalf("queue stats = %+v", f.Stats())
+	}
+	f.Verify()
+}
+
+// reclaimTrace is the shared arrival trace for the reclaim-vs-evict
+// acceptance scenario: three loaded nodes, then VM 4 gang-places 2+2
+// across nodes 0 and 1 (home node 0, borrow lease on node 1), and VM 3
+// departs early so node 2 has room when node 1's owner reclaims.
+func reclaimTrace() []Request {
+	return []Request{
+		{ID: 1, VCPUs: 6, MemBytes: 6 * gig, Arrival: 0, Duration: 200 * sim.Second},
+		{ID: 2, VCPUs: 6, MemBytes: 6 * gig, Arrival: 1, Duration: 200 * sim.Second},
+		{ID: 3, VCPUs: 6, MemBytes: 6 * gig, Arrival: 2, Duration: 5 * sim.Second},
+		{ID: 4, VCPUs: 4, MemBytes: 2 * gig, Arrival: 3, Duration: 200 * sim.Second},
+	}
+}
+
+// TestReclaimConsolidatesNotEvicts is the acceptance scenario: the same
+// arrival trace and the same owner-driven reclaim event, under both
+// policies. Consolidation resolves the reclaim by migrating the
+// borrower's vCPUs (zero evictions); the capacity-identical evict
+// baseline kills the borrower.
+func TestReclaimConsolidatesNotEvicts(t *testing.T) {
+	run := func(pol ReclaimPolicy) *Fleet {
+		env := sim.NewEnv()
+		f := New(env, Config{
+			Nodes: 3, CPUsPerNode: 8, MemPerNode: 32 * gig,
+			Policy: sched.MinFrag, Reclaim: pol,
+		})
+		f.Submit(reclaimTrace())
+		env.At(10*sim.Second, func() { f.Reclaim(1) })
+		env.RunUntil(20 * sim.Second) // after the reclaim, before departures
+		f.Verify()
+		return f
+	}
+
+	cons := run(ReclaimConsolidate)
+	evic := run(ReclaimEvict)
+
+	// Consolidation: the borrower survives, its node-1 fragment moved by
+	// migration, zero evictions.
+	if pl := cons.PlacementOf(4); pl == nil || pl[1] != 0 {
+		t.Fatalf("consolidate: borrower placement = %v, want alive and off node 1", cons.PlacementOf(4))
+	}
+	if got := cons.Stats().Evictions; got != 0 {
+		t.Fatalf("consolidate: evictions = %d, want 0", got)
+	}
+	if cons.Stats().Reclaims != 1 || cons.Stats().Migrations == 0 {
+		t.Fatalf("consolidate: reclaim did not resolve by migration: %+v", cons.Stats())
+	}
+	var sawMigrate, sawDone bool
+	for _, e := range cons.Events() {
+		if e.Kind == "migrate" && e.VM == 4 && e.From == 1 {
+			sawMigrate = true
+		}
+		if e.Kind == "reclaim-done" && e.VM == 4 {
+			sawDone = true
+		}
+	}
+	if !sawMigrate || !sawDone {
+		t.Fatalf("consolidate: missing migrate/reclaim-done events (migrate=%v done=%v)", sawMigrate, sawDone)
+	}
+
+	// Evict baseline: same trace, same reclaim — the borrower dies.
+	if evic.PlacementOf(4) != nil {
+		t.Fatal("evict: borrower survived under evict policy")
+	}
+	if got := evic.Stats().Evictions; got < 1 {
+		t.Fatalf("evict: evictions = %d, want >= 1", got)
+	}
+}
+
+func TestExplicitReclaimDefersUnderPressure(t *testing.T) {
+	// Fleet completely full: reclaim cannot relocate, the lease parks in
+	// LeaseReclaiming, and the retry fires when capacity frees.
+	env, f := newFleet(t, Config{Nodes: 2, CPUsPerNode: 4, MemPerNode: 8 * gig, Policy: sched.MinFrag})
+	f.Submit([]Request{
+		{ID: 1, VCPUs: 3, MemBytes: gig, Arrival: 0, Duration: 10 * sim.Second},
+		{ID: 2, VCPUs: 3, MemBytes: gig, Arrival: 0, Duration: 5 * sim.Second},
+		{ID: 3, VCPUs: 2, MemBytes: gig, Arrival: 1, Duration: 20 * sim.Second}, // gang 1+1
+	})
+	env.At(2*sim.Second, func() { f.Reclaim(1) })
+	env.RunUntil(30 * sim.Second)
+	st := f.Stats()
+	if st.ReclaimsDeferred != 1 {
+		t.Fatalf("deferred reclaims = %d, want 1 (full fleet)", st.ReclaimsDeferred)
+	}
+	if st.Reclaims != 1 {
+		t.Fatalf("reclaims = %d, want 1 (retried once capacity freed)", st.Reclaims)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0", st.Evictions)
+	}
+	f.Verify()
+}
+
+func TestNodeFailureRestartsFragments(t *testing.T) {
+	env := sim.NewEnv()
+	c := cluster.NewDefault(env, 3) // 8 cores / 32 GiB per node
+	inj := fault.New(c)
+	cfg := ClusterConfig(c, sched.MinFrag)
+	cfg.Fault = inj
+	cfg.HeartbeatEvery = 100 * sim.Millisecond
+	cfg.Horizon = 40 * sim.Second
+	f := New(env, cfg)
+	f.Submit([]Request{
+		{ID: 1, VCPUs: 6, MemBytes: 4 * gig, Arrival: 0, Duration: 30 * sim.Second},
+		{ID: 2, VCPUs: 6, MemBytes: 4 * gig, Arrival: 1, Duration: 30 * sim.Second},
+		{ID: 3, VCPUs: 6, MemBytes: 4 * gig, Arrival: 2, Duration: 30 * sim.Second},
+		{ID: 4, VCPUs: 4, MemBytes: 2 * gig, Arrival: 3, Duration: 30 * sim.Second}, // gang 2+2 on nodes 0,1
+	})
+	var sch fault.Schedule
+	sch.Add(fault.Event{At: 10 * sim.Second, Kind: fault.CrashNode, Node: 1})
+	inj.Apply(sch)
+	env.RunUntil(20 * sim.Second)
+	st := f.Stats()
+	if st.NodeFailures != 1 {
+		t.Fatalf("node failures = %d, want 1", st.NodeFailures)
+	}
+	// Every fragment that was on node 1 must have moved or requeued.
+	for id := 1; id <= 4; id++ {
+		if pl := f.PlacementOf(id); pl != nil && pl[1] > 0 {
+			t.Fatalf("VM %d still places on crashed node: %v", id, pl)
+		}
+	}
+	// VM 4's lost fragment fits node 2's spare capacity; VM 2 (a whole
+	// node's worth) cannot and returns to the queue.
+	if st.Restarts == 0 {
+		t.Fatalf("no fragment restart recorded: %+v", st)
+	}
+	if st.Requeues == 0 {
+		t.Fatalf("no requeue recorded: %+v", st)
+	}
+	f.Verify()
+}
+
+func TestSameSeedIdenticalEventLog(t *testing.T) {
+	run := func() []Event {
+		env := sim.NewEnv()
+		f := New(env, Config{
+			Nodes: 4, CPUsPerNode: 8, MemPerNode: 32 * gig,
+			Policy: sched.MinFrag, AutoReclaim: true,
+			RebalanceEvery: 5 * sim.Second, Horizon: 120 * sim.Second,
+		})
+		f.Submit(GenerateBurst(rand.New(rand.NewSource(7)), 60, 60*sim.Second, 2*gig))
+		env.RunUntil(120 * sim.Second)
+		f.Verify()
+		return f.Events()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different event logs: %d vs %d events", len(a), len(b))
+	}
+}

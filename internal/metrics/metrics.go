@@ -4,6 +4,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -97,6 +98,25 @@ func (t *Table) String() string {
 	var b strings.Builder
 	t.Fprint(&b)
 	return b.String()
+}
+
+// MarshalJSON renders the table as a JSON object with lowercase keys —
+// the machine-readable counterpart of Fprint, used by fragbench -json.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	notes := t.Notes
+	if notes == nil {
+		notes = []string{}
+	}
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+	}{t.Title, t.Headers, rows, notes})
 }
 
 // Series is a time series of (t, value) samples for trace figures.

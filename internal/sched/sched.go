@@ -234,8 +234,15 @@ func (s *Scheduler) place(r VMReq) bool {
 // bestFit returns the node whose free capacity fits the request most
 // tightly.
 func (s *Scheduler) bestFit(need int) (int, bool) {
+	return BestFit(s.free, need)
+}
+
+// BestFit returns the index into free whose capacity fits the request most
+// tightly, preferring the lowest index on ties. It is a pure function over
+// the free-capacity vector, shared with the fleet control plane.
+func BestFit(free []int, need int) (int, bool) {
 	best, bestLeft := -1, 1<<30
-	for n, f := range s.free {
+	for n, f := range free {
 		if f >= need && f-need < bestLeft {
 			best, bestLeft = n, f-need
 		}
@@ -245,10 +252,18 @@ func (s *Scheduler) bestFit(need int) (int, bool) {
 
 // fragPlacement gathers fragments under the configured policy.
 func (s *Scheduler) fragPlacement(need int) (Placement, bool) {
+	return FragPlacement(s.free, need, s.cfg.Policy)
+}
+
+// FragPlacement gathers fragments of the free-capacity vector into an
+// all-or-nothing multi-node placement under the given policy. It returns
+// false (and no placement) when the fragments jointly cannot satisfy the
+// request — gang semantics. Pure; shared with the fleet control plane.
+func FragPlacement(free []int, need int, pol Policy) (Placement, bool) {
 	type frag struct{ node, free int }
 	var frags []frag
 	total := 0
-	for n, f := range s.free {
+	for n, f := range free {
 		if f > 0 {
 			frags = append(frags, frag{n, f})
 			total += f
@@ -257,7 +272,7 @@ func (s *Scheduler) fragPlacement(need int) (Placement, bool) {
 	if total < need {
 		return nil, false
 	}
-	switch s.cfg.Policy {
+	switch pol {
 	case MinNodes:
 		// Fewest nodes: biggest fragments first.
 		sort.Slice(frags, func(i, j int) bool {
@@ -357,6 +372,33 @@ func (s *Scheduler) consolidateVM(p *sim.Proc, vmID int) {
 	if !ok {
 		return // departed meanwhile
 	}
+	for _, m := range ConsolidationMoves(s.free, s.cfg.CPUsPerNode, pl, s.cfg.Policy) {
+		s.migrate(p, vmID, pl, m.From, m.To, m.N)
+	}
+	if len(pl) == 1 {
+		s.stats.Handbacks++
+		s.log("handback", vmID, -1, pl.nodes()[0], 0)
+	}
+}
+
+// Move is one planned vCPU transfer between two slices of a placement.
+type Move struct {
+	From, To, N int
+}
+
+// ConsolidationMoves plans the FragBFF consolidation pass for one
+// multi-node placement: the ordered vCPU moves the scheduler would issue
+// given the cluster's free-capacity vector and per-node capacity. It is a
+// pure function — the inputs are not mutated — so the fleet control plane
+// reuses the exact decision procedure (including the MinFrag
+// fragmentation veto, the paper's t=222 decision) on its own accounting.
+func ConsolidationMoves(free []int, cap int, placement Placement, pol Policy) []Move {
+	free = append([]int(nil), free...)
+	pl := make(Placement, len(placement))
+	for n, c := range placement {
+		pl[n] = c
+	}
+	var moves []Move
 	for changed := true; changed; {
 		changed = false
 		nodes := pl.nodes()
@@ -376,14 +418,14 @@ func (s *Scheduler) consolidateVM(p *sim.Proc, vmID int) {
 			// (MinNodes).
 			var dsts []int
 			for _, d := range pl.nodes() {
-				if d != src && s.free[d] > 0 {
+				if d != src && free[d] > 0 {
 					dsts = append(dsts, d)
 				}
 			}
 			sort.Slice(dsts, func(i, j int) bool {
-				if s.cfg.Policy == MinFrag {
-					if s.free[dsts[i]] != s.free[dsts[j]] {
-						return s.free[dsts[i]] < s.free[dsts[j]]
+				if pol == MinFrag {
+					if free[dsts[i]] != free[dsts[j]] {
+						return free[dsts[i]] < free[dsts[j]]
 					}
 				} else {
 					if pl[dsts[i]] != pl[dsts[j]] {
@@ -394,8 +436,8 @@ func (s *Scheduler) consolidateVM(p *sim.Proc, vmID int) {
 			})
 			for _, dst := range dsts {
 				move := pl[src]
-				if move > s.free[dst] {
-					move = s.free[dst]
+				if move > free[dst] {
+					move = free[dst]
 				}
 				if move == 0 {
 					continue
@@ -406,18 +448,25 @@ func (s *Scheduler) consolidateVM(p *sim.Proc, vmID int) {
 				// from a smaller slice into an equal-or-bigger one:
 				// that strictly increases the placement's sum of
 				// squares, so consolidation cannot oscillate.
-				fills := move == s.free[dst] && pl[dst] >= pl[src]
-				if !empties && !(s.cfg.Policy == MinFrag && fills) {
+				fills := move == free[dst] && pl[dst] >= pl[src]
+				if !empties && !(pol == MinFrag && fills) {
 					continue
 				}
 				// Under MinFrag, even a slice-emptying move is vetoed
 				// when it would leave the cluster more fragmented —
 				// the paper's t=222 decision: consolidating now would
 				// split one usable 4-CPU fragment into two 2-CPU ones.
-				if s.cfg.Policy == MinFrag && s.fragCountAfter(src, dst, move) > s.fragCount() {
+				if pol == MinFrag && FragCountAfter(free, cap, src, dst, move) > FragCount(free, cap) {
 					continue
 				}
-				s.migrate(p, vmID, pl, src, dst, move)
+				free[dst] -= move
+				free[src] += move
+				pl[src] -= move
+				pl[dst] += move
+				if pl[src] == 0 {
+					delete(pl, src)
+				}
+				moves = append(moves, Move{From: src, To: dst, N: move})
 				changed = true
 				if pl[src] == 0 {
 					break
@@ -425,35 +474,32 @@ func (s *Scheduler) consolidateVM(p *sim.Proc, vmID int) {
 			}
 		}
 	}
-	if len(pl) == 1 {
-		s.stats.Handbacks++
-		s.log("handback", vmID, -1, pl.nodes()[0], 0)
-	}
+	return moves
 }
 
-// fragCount returns the number of partially-free nodes — usable fragments
-// that strand capacity.
-func (s *Scheduler) fragCount() int {
+// FragCount returns the number of partially-free entries of the
+// free-capacity vector — usable fragments that strand capacity. Pure.
+func FragCount(free []int, cap int) int {
 	n := 0
-	for _, f := range s.free {
-		if f > 0 && f < s.cfg.CPUsPerNode {
+	for _, f := range free {
+		if f > 0 && f < cap {
 			n++
 		}
 	}
 	return n
 }
 
-// fragCountAfter evaluates fragCount as if n vCPUs moved from src to dst.
-func (s *Scheduler) fragCountAfter(src, dst, n int) int {
+// FragCountAfter evaluates FragCount as if n vCPUs moved from src to dst.
+func FragCountAfter(free []int, cap, src, dst, n int) int {
 	count := 0
-	for node, f := range s.free {
+	for node, f := range free {
 		switch node {
 		case src:
 			f += n
 		case dst:
 			f -= n
 		}
-		if f > 0 && f < s.cfg.CPUsPerNode {
+		if f > 0 && f < cap {
 			count++
 		}
 	}

@@ -52,6 +52,7 @@ const (
 	CatMigrate                    // vCPU live migration
 	CatSched                      // consolidation scheduler decisions
 	CatFault                      // injected faults (instants)
+	CatFleet                      // fleet control plane: admit/lease/reclaim/rebalance
 	CatQueue                      // derived: root time no child span covers
 	CatOther
 	numCategories
@@ -59,7 +60,7 @@ const (
 
 var catNames = [numCategories]string{
 	"task", "compute", "dsm-wait", "network", "checkpoint",
-	"migrate", "sched", "fault", "queueing", "other",
+	"migrate", "sched", "fault", "fleet", "queueing", "other",
 }
 
 func (c Category) String() string {

@@ -6,6 +6,7 @@ package repro
 // the public entry points the package tests never execute.
 
 import (
+	"encoding/json"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -38,10 +39,45 @@ func TestSmokeCmdFragbench(t *testing.T) {
 		t.Skip("skipping go-run smoke test in -short mode")
 	}
 	runSmoke(t, "./cmd/fragbench", "-fig", "fig4", "-scale", "0.02")
-	// The listing must include the fault-recovery experiment.
+	// The listing must include the fault-recovery and fleet experiments.
 	out := runSmoke(t, "./cmd/fragbench", "-list")
-	if want := "recovery"; !strings.Contains(out, want) {
-		t.Fatalf("fragbench -list output lacks %q:\n%s", want, out)
+	for _, want := range []string{"recovery", "fleet"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fragbench -list output lacks %q:\n%s", want, out)
+		}
+	}
+	// -json emits machine-readable tables.
+	out = runSmoke(t, "./cmd/fragbench", "-fig", "fleet", "-scale", "0.02", "-json")
+	var results []struct {
+		Experiment string `json:"experiment"`
+		Table      struct {
+			Title   string     `json:"title"`
+			Headers []string   `json:"headers"`
+			Rows    [][]string `json:"rows"`
+		} `json:"table"`
+	}
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("fragbench -json output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(results) != 1 || results[0].Experiment != "fleet" || len(results[0].Table.Rows) == 0 {
+		t.Fatalf("fragbench -json output unexpected: %+v", results)
+	}
+}
+
+func TestSmokeCmdFragfleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run smoke test in -short mode")
+	}
+	args := []string{"-nodes", "4", "-vms", "16", "-until", "60", "-reclaim-at", "2@30", "-crash", "1@45"}
+	out := runSmoke(t, "./cmd/fragfleet", args...)
+	for _, want := range []string{"Fleet timeline", "Fleet events", "Queue waits"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fragfleet output lacks %q:\n%s", want, out)
+		}
+	}
+	// Determinism acceptance: two same-seed runs are byte-identical.
+	if again := runSmoke(t, "./cmd/fragfleet", args...); again != out {
+		t.Fatal("fragfleet output differs between two same-seed runs")
 	}
 }
 
@@ -75,6 +111,7 @@ func TestSmokeExamples(t *testing.T) {
 		"./examples/lemp",
 		"./examples/serverless",
 		"./examples/consolidation",
+		"./examples/fleet",
 	} {
 		pkg := pkg
 		t.Run(pkg, func(t *testing.T) {
