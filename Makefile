@@ -4,9 +4,10 @@
 
 GO ?= go
 
-.PHONY: check check-race fmt vet build test race bench-smoke trace-smoke
+.PHONY: check check-race fmt vet build test race bench-smoke trace-smoke \
+	bench-json perf-smoke
 
-check: fmt vet build race bench-smoke
+check: fmt vet build race bench-smoke perf-smoke
 	@echo "check: all gates passed"
 
 fmt:
@@ -33,6 +34,19 @@ check-race:
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Full perf snapshot: microbenchmarks at BENCHTIME each, the figure
+# suite, and a >10^6-event fleet soak with a steady-state heap assertion.
+# Regenerates BENCH_pr4.json; see "Performance tracking" in the README.
+BENCHTIME ?= 1s
+BENCHOUT ?= BENCH_pr4.json
+bench-json:
+	$(GO) run ./cmd/fragperf -benchtime $(BENCHTIME) -out $(BENCHOUT)
+
+# One-pass fragperf smoke with a shrunken soak: the CI perf gate. Still
+# fails if the soak heap is not steady.
+perf-smoke:
+	$(GO) run ./cmd/fragperf -quick -out /tmp/fragperf-smoke.json
 
 # Runs one traced experiment end to end and validates the emitted Chrome
 # trace file; fragtrace exits non-zero if the critical-path categories do

@@ -6,6 +6,7 @@ import (
 	"repro/fragvisor"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 )
 
 // benchOptions returns the experiment size for benchmarks: small in
@@ -77,6 +78,7 @@ func BenchmarkVCPUMigration(b *testing.B) {
 func BenchmarkDSMFault(b *testing.B) {
 	tb := fragvisor.NewTestbed(2)
 	vm := tb.NewFragVisorVM(2, 4<<30)
+	b.ReportAllocs()
 	b.ResetTimer()
 	tb.Env.Spawn("pingpong", func(p *fragvisor.Proc) {
 		for i := 0; i < b.N; i++ {
@@ -84,4 +86,91 @@ func BenchmarkDSMFault(b *testing.B) {
 		}
 	})
 	tb.Run()
+}
+
+// The remaining benchmarks isolate the DES core's primitive costs; the
+// same workloads back cmd/fragperf's JSON snapshot (make bench-json).
+
+// BenchmarkEventDispatch measures one heap push + pop + callback per op
+// via a single self-rescheduling deferred event.
+func BenchmarkEventDispatch(b *testing.B) {
+	e := sim.NewEnv()
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		if remaining > 0 {
+			remaining--
+			e.Defer(1, tick)
+		}
+	}
+	e.Defer(1, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkProcWake measures the park/dispatch round trip: one Sleep per
+// op on a single proc.
+func BenchmarkProcWake(b *testing.B) {
+	e := sim.NewEnv()
+	e.Spawn("sleeper", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkQueueChurn measures blocking producer/consumer hand-off: one
+// Put+Get pair per op.
+func BenchmarkQueueChurn(b *testing.B) {
+	e := sim.NewEnv()
+	q := sim.NewQueue[int](e)
+	e.Spawn("consumer", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Get(p)
+		}
+	})
+	e.Spawn("producer", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(i)
+			p.Sleep(1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkWaitTimeoutStorm measures the RPC-timeout pattern where the
+// reply beats the deadline — the path that used to leak cancelled timers.
+func BenchmarkWaitTimeoutStorm(b *testing.B) {
+	e := sim.NewEnv()
+	e.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			ev := e.NewEvent()
+			e.After(1, ev.Fire)
+			p.WaitTimeout(ev, sim.Second)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkSpawnChurn measures short-lived process turnover, exercising
+// worker reuse and proc-table reaping: one spawn+finish per op.
+func BenchmarkSpawnChurn(b *testing.B) {
+	e := sim.NewEnv()
+	e.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			w := e.Spawn("w", func(p *sim.Proc) { p.Sleep(1) })
+			p.Wait(w.Done())
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
 }

@@ -1,0 +1,443 @@
+// Command fragperf measures the wall-clock performance of the DES core and
+// the simulator's hottest paths, and writes a JSON snapshot so every PR has
+// a perf trajectory to compare against (see "Performance tracking" in the
+// README).
+//
+// Three sections are measured:
+//
+//   - micro: targeted microbenchmarks of the sim core (event dispatch,
+//     proc wake, queue churn, mutex hand-off, WaitTimeout storm, spawn
+//     churn) plus the engine's hottest composite paths (DSM remote write
+//     fault, vCPU migration) — ns/op, bytes/op, allocs/op.
+//   - figures: one timed pass over every paper-figure experiment at quick
+//     scale, the same set the Benchmark* suite in bench_test.go covers.
+//   - soak: a long fleet-control-plane run (≥ 10⁶ scheduled events at
+//     default settings) that samples the live heap at quarter points and
+//     fails the run if steady-state memory grows — the wall-clock
+//     regression guard for the unbounded-growth class of bug.
+//
+// Usage:
+//
+//	fragperf [-out BENCH_pr4.json] [-benchtime 1s] [-quick]
+//
+// -quick runs every microbenchmark for a single calibration pass and
+// shrinks the soak; it is the CI smoke mode (make perf-smoke).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/fragvisor"
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// BenchResult is one microbenchmark's measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// FigResult is one figure experiment's wall-clock measurement.
+type FigResult struct {
+	Name   string  `json:"name"`
+	Rows   int     `json:"rows"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+// SoakResult reports the long-run steady-state check.
+type SoakResult struct {
+	Events            uint64   `json:"events"`
+	VirtualSeconds    float64  `json:"virtual_seconds"`
+	WallMs            float64  `json:"wall_ms"`
+	EventsPerSec      float64  `json:"events_per_sec"`
+	HeapSampleBytes   []uint64 `json:"heap_sample_bytes"` // live heap at quarter points
+	HeapGrowthPercent float64  `json:"heap_growth_percent"`
+	Steady            bool     `json:"steady"`
+}
+
+// Snapshot is the whole perf snapshot; BENCH_pr4.json holds one.
+type Snapshot struct {
+	Schema       string        `json:"schema"`
+	GoVersion    string        `json:"go_version"`
+	GOOS         string        `json:"goos"`
+	GOARCH       string        `json:"goarch"`
+	Quick        bool          `json:"quick"`
+	Micro        []BenchResult `json:"micro"`
+	Figures      []FigResult   `json:"figures"`
+	Soak         SoakResult    `json:"soak"`
+	PeakRSSBytes int64         `json:"peak_rss_bytes"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr4.json", "output JSON path (- for stdout)")
+	benchtime := flag.String("benchtime", "1s", "target run time per microbenchmark (go-test syntax: a duration, or Nx for a fixed iteration count)")
+	quick := flag.Bool("quick", false, "single-pass smoke mode: one iteration per benchmark, small soak")
+	soakVMs := flag.Int("soak-vms", 48, "fleet VMs per soak wave")
+	soakWaves := flag.Int("soak-waves", 40, "fleet soak waves (60 virtual seconds each)")
+	flag.Parse()
+
+	if *quick {
+		*benchtime = "1x"
+		*soakWaves = 4
+	}
+	benchDur, benchIters, err := parseBenchtime(*benchtime)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fragperf: -benchtime %q: %v\n", *benchtime, err)
+		os.Exit(2)
+	}
+
+	snap := Snapshot{
+		Schema:    "fragperf/1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     *quick,
+	}
+
+	for _, b := range []struct {
+		name string
+		fn   func(n int)
+	}{
+		{"event-dispatch", benchEventDispatch},
+		{"proc-wake", benchProcWake},
+		{"queue-churn", benchQueueChurn},
+		{"mutex-handoff", benchMutexHandoff},
+		{"waittimeout-storm", benchWaitTimeoutStorm},
+		{"spawn-churn", benchSpawnChurn},
+		{"dsm-fault", benchDSMFault},
+		{"vcpu-migration", benchVCPUMigration},
+	} {
+		r := measure(b.name, benchDur, benchIters, b.fn)
+		fmt.Fprintf(os.Stderr, "%-20s %10d iters  %12.1f ns/op %10.1f B/op %8.2f allocs/op\n",
+			r.Name, r.Iters, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		snap.Micro = append(snap.Micro, r)
+	}
+
+	for _, fig := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14"} {
+		r, err := runFigure(fig)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fragperf: %s: %v\n", fig, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%-20s %4d rows %12.1f ms\n", r.Name, r.Rows, r.WallMs)
+		snap.Figures = append(snap.Figures, r)
+	}
+
+	snap.Soak = runSoak(*soakVMs, *soakWaves)
+	fmt.Fprintf(os.Stderr, "%-20s %10d events  %10.1f ms  %12.0f events/s  heap %s  growth %+.1f%%\n",
+		"fleet-soak", snap.Soak.Events, snap.Soak.WallMs, snap.Soak.EventsPerSec,
+		fmtHeapSamples(snap.Soak.HeapSampleBytes), snap.Soak.HeapGrowthPercent)
+
+	snap.PeakRSSBytes = peakRSS()
+
+	enc, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fragperf: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "fragperf: %v\n", err)
+		os.Exit(1)
+	}
+
+	if !snap.Soak.Steady {
+		fmt.Fprintf(os.Stderr, "fragperf: FAIL: soak heap grew %.1f%% after warmup — the core is leaking again\n",
+			snap.Soak.HeapGrowthPercent)
+		os.Exit(1)
+	}
+}
+
+// parseBenchtime accepts go-test -benchtime syntax: a duration ("2s") or
+// a fixed iteration count ("100x").
+func parseBenchtime(s string) (time.Duration, int, error) {
+	if iters, ok := strings.CutSuffix(s, "x"); ok {
+		n, err := strconv.Atoi(iters)
+		if err != nil || n <= 0 {
+			return 0, 0, fmt.Errorf("iteration count must be a positive integer")
+		}
+		return 0, n, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	return d, 0, nil
+}
+
+// measure times fn(n), scaling n until the run lasts at least benchtime
+// (or pinning n to fixedIters when that is set), then reports per-op cost
+// and allocation from a final instrumented run.
+func measure(name string, benchtime time.Duration, fixedIters int, fn func(n int)) BenchResult {
+	n := 1
+	if fixedIters > 0 {
+		n = fixedIters
+	}
+	fn(1) // warm up pools, page in code
+	if fixedIters == 0 && benchtime > 0 {
+		for {
+			start := time.Now()
+			fn(n)
+			elapsed := time.Since(start)
+			if elapsed >= benchtime || n >= 1<<30 {
+				break
+			}
+			next := n * 2
+			if elapsed > 0 {
+				if byTime := int(float64(n) * 1.2 * float64(benchtime) / float64(elapsed)); byTime > next {
+					next = byTime
+				}
+			}
+			n = next
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn(n)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return BenchResult{
+		Name:        name,
+		Iters:       n,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+	}
+}
+
+// benchEventDispatch measures raw heap push/pop + callback execution: a
+// single self-rescheduling callback, one event per op.
+func benchEventDispatch(n int) {
+	e := sim.NewEnv()
+	remaining := n
+	var tick func()
+	tick = func() {
+		if remaining > 0 {
+			remaining--
+			e.Defer(1, tick)
+		}
+	}
+	e.Defer(1, tick)
+	e.Run()
+}
+
+// benchProcWake measures the park/dispatch round trip: one Sleep per op.
+func benchProcWake(n int) {
+	e := sim.NewEnv()
+	e.Spawn("sleeper", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(1)
+		}
+	})
+	e.Run()
+}
+
+// benchQueueChurn measures blocking producer/consumer hand-off: one
+// Put+Get pair per op.
+func benchQueueChurn(n int) {
+	e := sim.NewEnv()
+	q := sim.NewQueue[int](e)
+	e.Spawn("consumer", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			q.Get(p)
+		}
+	})
+	e.Spawn("producer", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			q.Put(i)
+			p.Sleep(1)
+		}
+	})
+	e.Run()
+}
+
+// benchMutexHandoff measures FIFO lock transfer between two contending
+// procs: one Lock+Unlock per op.
+func benchMutexHandoff(n int) {
+	e := sim.NewEnv()
+	m := e.NewMutex()
+	worker := func(p *sim.Proc) {
+		for i := 0; i < n/2; i++ {
+			m.Lock(p)
+			p.Sleep(1)
+			m.Unlock()
+		}
+	}
+	e.Spawn("a", worker)
+	e.Spawn("b", worker)
+	e.Run()
+}
+
+// benchWaitTimeoutStorm measures the RPC-timeout pattern where the reply
+// always beats the deadline — the path that used to accumulate cancelled
+// timers: one WaitTimeout per op.
+func benchWaitTimeoutStorm(n int) {
+	e := sim.NewEnv()
+	e.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			ev := e.NewEvent()
+			e.After(1, ev.Fire)
+			p.WaitTimeout(ev, sim.Second)
+		}
+	})
+	e.Run()
+}
+
+// benchSpawnChurn measures short-lived process turnover (worker-pool
+// reuse): one spawn+finish per op.
+func benchSpawnChurn(n int) {
+	e := sim.NewEnv()
+	e.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			w := e.Spawn("w", func(p *sim.Proc) { p.Sleep(1) })
+			p.Wait(w.Done())
+		}
+	})
+	e.Run()
+}
+
+// benchDSMFault mirrors BenchmarkDSMFault: one remote DSM write fault
+// (page ping-pong between two nodes) per op — the engine's hottest path.
+func benchDSMFault(n int) {
+	tb := fragvisor.NewTestbed(2)
+	vm := tb.NewFragVisorVM(2, 4<<30)
+	tb.Env.Spawn("pingpong", func(p *fragvisor.Proc) {
+		for i := 0; i < n; i++ {
+			vm.DSM.Touch(p, i%2, 12345, true)
+		}
+	})
+	tb.Run()
+}
+
+// benchVCPUMigration mirrors BenchmarkVCPUMigration: one cross-node vCPU
+// migration per op.
+func benchVCPUMigration(n int) {
+	tb := fragvisor.NewTestbed(2)
+	vm := tb.NewFragVisorVM(2, 4<<30)
+	tb.Env.Spawn("migrate", func(p *fragvisor.Proc) {
+		for i := 0; i < n; i++ {
+			vm.MigrateVCPU(p, 1, 1-vm.VCPUNodes()[1], 0)
+		}
+	})
+	tb.Run()
+}
+
+// runFigure times one full figure experiment at quick scale.
+func runFigure(name string) (FigResult, error) {
+	start := time.Now()
+	tab, err := experiments.Run(name, experiments.QuickOptions())
+	if err != nil {
+		return FigResult{}, err
+	}
+	return FigResult{
+		Name:   name,
+		Rows:   len(tab.Rows),
+		WallMs: float64(time.Since(start).Microseconds()) / 1e3,
+	}, nil
+}
+
+// runSoak drives the fleet control plane through waves of VM arrivals —
+// admission, leases, reclaims, rebalance ticks, departures — sampling the
+// live heap at each quarter of the run. Steady state means the heap after
+// the final quarter is within 50% (plus a fixed 8 MB slack for pool
+// high-water marks) of the first post-warmup sample.
+func runSoak(vmsPerWave, waves int) SoakResult {
+	const (
+		gig    = int64(1) << 30
+		window = 60 * sim.Second
+	)
+	env := sim.NewEnv()
+	f := fleet.New(env, fleet.Config{
+		Nodes: 8, CPUsPerNode: 8, MemPerNode: 32 * gig,
+		Policy: sched.MinFrag, AutoReclaim: true,
+		// A 2 ms consolidation tick is deliberately aggressive: together
+		// with the VM churn it pushes the run past 10⁶ scheduled events,
+		// which is what makes the quarter-point heap samples a meaningful
+		// steady-state witness.
+		RebalanceEvery: 2 * sim.Millisecond,
+		Horizon:        sim.Time(waves) * window,
+	})
+	rng := rand.New(rand.NewSource(42))
+	for w := 0; w < waves; w++ {
+		burst := fleet.GenerateBurst(rng, vmsPerWave, window, 2*gig)
+		for i := range burst {
+			burst[i].ID += w * vmsPerWave
+			burst[i].Arrival += sim.Time(w) * window
+		}
+		f.Submit(burst)
+	}
+
+	var samples []uint64
+	start := time.Now()
+	quarter := sim.Time(waves) * window / 4
+	for q := 1; q <= 4; q++ {
+		env.RunUntil(sim.Time(q) * quarter)
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		samples = append(samples, ms.HeapAlloc)
+	}
+	env.Run() // drain departures past the horizon
+	wall := time.Since(start)
+	f.Verify()
+
+	growth := 100 * (float64(samples[3]) - float64(samples[0])) / float64(samples[0])
+	steady := samples[3] <= samples[0]+samples[0]/2+(8<<20)
+	return SoakResult{
+		Events:            env.Scheduled(),
+		VirtualSeconds:    env.Now().Seconds(),
+		WallMs:            float64(wall.Microseconds()) / 1e3,
+		EventsPerSec:      float64(env.Scheduled()) / wall.Seconds(),
+		HeapSampleBytes:   samples,
+		HeapGrowthPercent: growth,
+		Steady:            steady,
+	}
+}
+
+func fmtHeapSamples(s []uint64) string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = fmt.Sprintf("%.1fMB", float64(v)/(1<<20))
+	}
+	return strings.Join(parts, "→")
+}
+
+// peakRSS returns the process's peak resident set in bytes (VmHWM on
+// Linux; 0 where unavailable).
+func peakRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				kb, err := strconv.ParseInt(fields[0], 10, 64)
+				if err == nil {
+					return kb << 10
+				}
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// TestMeasureReportsPerOpCosts checks the calibration loop and the
+// per-op accounting against a workload with a known allocation profile.
+func TestMeasureReportsPerOpCosts(t *testing.T) {
+	var sink [][]byte
+	r := measure("alloc", 0, 1, func(n int) {
+		sink = make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			sink = append(sink, make([]byte, 1024))
+		}
+	})
+	runtime.KeepAlive(sink)
+	if r.Iters != 1 {
+		t.Fatalf("benchtime 0 ran %d iters, want 1", r.Iters)
+	}
+	if r.NsPerOp <= 0 {
+		t.Fatalf("ns/op = %v, want > 0", r.NsPerOp)
+	}
+	if r.BytesPerOp < 1024 {
+		t.Fatalf("bytes/op = %v, want >= 1024", r.BytesPerOp)
+	}
+}
+
+// TestParseBenchtime covers both accepted -benchtime forms and rejects
+// malformed input.
+func TestParseBenchtime(t *testing.T) {
+	if d, n, err := parseBenchtime("2s"); err != nil || d != 2e9 || n != 0 {
+		t.Fatalf("parseBenchtime(2s) = %v, %v, %v", d, n, err)
+	}
+	if d, n, err := parseBenchtime("100x"); err != nil || d != 0 || n != 100 {
+		t.Fatalf("parseBenchtime(100x) = %v, %v, %v", d, n, err)
+	}
+	for _, bad := range []string{"", "x", "-3x", "fast"} {
+		if _, _, err := parseBenchtime(bad); err == nil {
+			t.Fatalf("parseBenchtime(%q) accepted", bad)
+		}
+	}
+}
+
+// TestMicroBenchmarksRun drives every microbenchmark for a handful of
+// iterations; each must terminate with its environment drained.
+func TestMicroBenchmarksRun(t *testing.T) {
+	for _, b := range []struct {
+		name string
+		fn   func(n int)
+	}{
+		{"event-dispatch", benchEventDispatch},
+		{"proc-wake", benchProcWake},
+		{"queue-churn", benchQueueChurn},
+		{"mutex-handoff", benchMutexHandoff},
+		{"waittimeout-storm", benchWaitTimeoutStorm},
+		{"spawn-churn", benchSpawnChurn},
+		{"dsm-fault", benchDSMFault},
+		{"vcpu-migration", benchVCPUMigration},
+	} {
+		b := b
+		t.Run(b.name, func(t *testing.T) { b.fn(8) })
+	}
+}
+
+// TestSoakSteadyAndSerializable runs a short soak and checks the result
+// is steady, non-trivial, and survives the JSON round trip.
+func TestSoakSteadyAndSerializable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	s := runSoak(8, 1)
+	if !s.Steady {
+		t.Fatalf("short soak not steady: heap samples %v (growth %.1f%%)", s.HeapSampleBytes, s.HeapGrowthPercent)
+	}
+	if s.Events < 10_000 {
+		t.Fatalf("soak scheduled only %d events", s.Events)
+	}
+	if len(s.HeapSampleBytes) != 4 {
+		t.Fatalf("want 4 quarter-point heap samples, got %d", len(s.HeapSampleBytes))
+	}
+	enc, err := json.Marshal(Snapshot{Schema: "fragperf/1", Soak: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Soak.Events != s.Events {
+		t.Fatalf("round trip lost Events: %d != %d", back.Soak.Events, s.Events)
+	}
+}
+
+// TestPeakRSSOnLinux checks the VmHWM probe on the platform CI runs on.
+func TestPeakRSSOnLinux(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("VmHWM is linux-only")
+	}
+	if rss := peakRSS(); rss <= 0 {
+		t.Fatalf("peakRSS() = %d, want > 0", rss)
+	}
+}

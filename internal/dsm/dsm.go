@@ -39,6 +39,7 @@ package dsm
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/mem"
 	"repro/internal/msg"
@@ -217,6 +218,9 @@ type DSM struct {
 
 	dirtyPage mem.PageID
 	service   string
+	dirSvc    string // service + ".dir", interned off the fault hot path
+	dirProc   string // service + ".dir.", prefix for directory proc names
+	invProc   string // service + ".inv.", prefix for invalidation proc names
 
 	nextFault uint64
 	pending   map[uint64]*pendingFault
@@ -254,6 +258,9 @@ func New(env *sim.Env, layer *msg.Layer, nodes []int, p Params) *DSM {
 	// Instance numbers are per messaging layer, so service (and span) names
 	// depend only on construction order within one simulation.
 	d.service = fmt.Sprintf("dsm%d", layer.Instance("dsm"))
+	d.dirSvc = d.service + ".dir"
+	d.dirProc = d.service + ".dir."
+	d.invProc = d.service + ".inv."
 	for i, n := range nodes {
 		if _, dup := d.idx[n]; dup {
 			panic(fmt.Sprintf("dsm: duplicate node %d", n))
@@ -262,7 +269,7 @@ func New(env *sim.Env, layer *msg.Layer, nodes []int, p Params) *DSM {
 		d.local[n] = make(map[mem.PageID]*localPage)
 		d.stats[n] = &Stats{}
 	}
-	layer.Handle(d.origin, d.service+".dir", d.handleDir)
+	layer.Handle(d.origin, d.dirSvc, d.handleDir)
 	for _, n := range nodes {
 		layer.Handle(n, d.service+".own", d.handleOwner)
 	}
@@ -434,7 +441,7 @@ func (d *DSM) ensure(p *sim.Proc, node int, pg mem.PageID, write bool) *localPag
 	pf := &pendingFault{ev: d.env.NewEvent()}
 	d.pending[id] = pf
 	req := faultReq{id: id, page: pg, node: node, write: write}
-	d.layer.SendCtx(sp, node, d.origin, d.service+".dir", "fault", d.params.ReqBytes, req)
+	d.layer.SendCtx(sp, node, d.origin, d.dirSvc, "fault", d.params.ReqBytes, req)
 	if d.params.Retry.Timeout <= 0 {
 		p.Wait(pf.ev)
 	} else {
@@ -448,7 +455,7 @@ func (d *DSM) ensure(p *sim.Proc, node int, pg mem.PageID, write bool) *localPag
 				return lp
 			}
 			st.Retries++
-			d.layer.SendCtx(sp, node, d.origin, d.service+".dir", "fault", d.params.ReqBytes, req)
+			d.layer.SendCtx(sp, node, d.origin, d.dirSvc, "fault", d.params.ReqBytes, req)
 		}
 	}
 	d.tr.End(sp)
@@ -515,7 +522,7 @@ func (d *DSM) handleDir(m *msg.Message) {
 	}
 	d.seen[req.id] = true
 	parent := m.SpanID()
-	d.env.Spawn(fmt.Sprintf("%s.dir.%d", d.service, req.page), func(p *sim.Proc) {
+	d.env.Spawn(d.dirProc+strconv.Itoa(int(req.page)), func(p *sim.Proc) {
 		if d.tr != nil {
 			dsp := d.tr.Begin(parent, trace.CatDSM, d.origin, "dsm.dir")
 			p.SetSpan(dsp)
@@ -606,7 +613,7 @@ func (d *DSM) grantWrite(p *sim.Proc, req faultReq) {
 		}
 		ev := d.env.NewEvent()
 		waits = append(waits, ev)
-		d.env.Spawn(fmt.Sprintf("%s.inv.%d", d.service, req.page), func(sub *sim.Proc) {
+		d.env.Spawn(d.invProc+strconv.Itoa(int(req.page)), func(sub *sim.Proc) {
 			if d.tr != nil {
 				isp := d.tr.Begin(parent, trace.CatDSM, d.origin, "dsm.inv")
 				sub.SetSpan(isp)

@@ -203,7 +203,9 @@ func (l *Layer) deliver(m *Message, onDelivered func()) {
 		}
 		l.tr.End(m.span)
 	}
-	receive := func() { l.env.After(l.params.HandlerLat, handle) }
+	// Pooled fire-and-forget timers: delivery never cancels, so the two
+	// hops (fabric arrival, then handler latency) allocate no Timer.
+	receive := func() { l.env.Defer(l.params.HandlerLat, handle) }
 
 	var verdict MsgOutcome
 	if l.filter != nil {
@@ -217,7 +219,7 @@ func (l *Layer) deliver(m *Message, onDelivered func()) {
 			l.faults.Dropped++
 			return
 		}
-		l.env.After(0, receive)
+		l.env.Defer(0, receive)
 		return
 	}
 	// Cross-node drop/delay faults are ruled on by the fabric's own
@@ -230,7 +232,7 @@ func (l *Layer) deliver(m *Message, onDelivered func()) {
 		clone := *m
 		clone.dup = true
 		l.net.Send(m.From, m.To, m.Size+l.params.HeaderBytes, func() {
-			l.env.After(l.params.HandlerLat, func() {
+			l.env.Defer(l.params.HandlerLat, func() {
 				if onDelivered != nil {
 					// Duplicate replies are dropped at the requester:
 					// the original already completed the call.

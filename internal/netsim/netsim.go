@@ -145,7 +145,9 @@ func (n *Net) SendCtx(span int64, from, to int, size int, deliver func()) sim.Ti
 		}
 	}
 	if deliver != nil {
-		n.env.At(arrive, deliver)
+		// Pooled: fabric deliveries are never cancelled (drops are decided
+		// above, before scheduling), so no Timer handle is needed.
+		n.env.DeferAt(arrive, deliver)
 	}
 	return arrive
 }

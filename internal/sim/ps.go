@@ -20,6 +20,7 @@ type PS struct {
 	background float64
 	last       Time
 	timer      *Timer
+	completeFn func() // ps.complete bound once, so rearming never allocates
 	totalDone  float64
 }
 
@@ -35,7 +36,9 @@ func NewPS(e *Env, capacity float64) *PS {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("sim: NewPS capacity %v must be positive", capacity))
 	}
-	return &PS{env: e, capacity: capacity}
+	ps := &PS{env: e, capacity: capacity}
+	ps.completeFn = ps.complete
+	return ps
 }
 
 // Capacity returns the resource capacity in work units per second.
@@ -139,7 +142,9 @@ func (ps *PS) reschedule() {
 	if d < 0 {
 		d = 0
 	}
-	ps.timer = ps.env.After(d, ps.complete)
+	// Pooled: the only reference is ps.timer, which complete and the
+	// cancel path both clear before the timer could ever be reused.
+	ps.timer = ps.env.schedule(ps.env.now+d, nil, ps.completeFn, true)
 }
 
 // complete retires all jobs whose remaining work has reached (numerically
@@ -153,8 +158,7 @@ func (ps *PS) complete() {
 	for _, j := range ps.jobs {
 		if j.remaining <= eps {
 			ps.totalDone += j.work
-			done := j.proc
-			ps.env.After(0, func() { ps.env.dispatch(done) })
+			ps.env.wake(j.proc)
 		} else {
 			kept = append(kept, j)
 		}

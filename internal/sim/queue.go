@@ -5,11 +5,17 @@ package sim
 // the calling process until an item is available. Items are delivered in
 // insertion order; waiting processes are served in arrival order.
 //
+// Items and waiters live in ring buffers, so a queue's memory footprint
+// tracks its current population: popped items are released immediately and
+// the backing arrays shrink after bursts (the previous slice-shift
+// implementation pinned every item the queue had ever carried until the
+// backing array happened to be reallocated).
+//
 // Construct with NewQueue.
 type Queue[T any] struct {
 	env     *Env
-	items   []T
-	waiters []*Proc
+	items   ring[T]
+	waiters ring[*Proc]
 }
 
 // NewQueue returns an empty queue bound to the environment.
@@ -20,30 +26,25 @@ func NewQueue[T any](e *Env) *Queue[T] {
 // Put appends v and wakes one waiting process, if any. Put is safe to call
 // from process code and from event callbacks alike.
 func (q *Queue[T]) Put(v T) {
-	q.items = append(q.items, v)
-	if len(q.waiters) > 0 {
-		next := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		q.env.After(0, func() { q.env.dispatch(next) })
+	q.items.push(v)
+	if q.waiters.len() > 0 {
+		q.env.wake(q.waiters.pop())
 	}
 }
 
 // Get removes and returns the oldest item, blocking the process while the
 // queue is empty.
 func (q *Queue[T]) Get(p *Proc) T {
-	for len(q.items) == 0 {
-		q.waiters = append(q.waiters, p)
+	for q.items.len() == 0 {
+		q.waiters.push(p)
 		p.park()
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	v := q.items.pop()
 	// If items remain and more processes are waiting, keep the wake-up
 	// chain going: each Put wakes one waiter, but a waiter that was parked
 	// before multiple Puts may leave items for its peers.
-	if len(q.items) > 0 && len(q.waiters) > 0 {
-		next := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		q.env.After(0, func() { q.env.dispatch(next) })
+	if q.items.len() > 0 && q.waiters.len() > 0 {
+		q.env.wake(q.waiters.pop())
 	}
 	return v
 }
@@ -51,14 +52,12 @@ func (q *Queue[T]) Get(p *Proc) T {
 // TryGet removes and returns the oldest item without blocking. The second
 // result reports whether an item was available.
 func (q *Queue[T]) TryGet() (T, bool) {
-	var zero T
-	if len(q.items) == 0 {
+	if q.items.len() == 0 {
+		var zero T
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.items.pop(), true
 }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.len() }

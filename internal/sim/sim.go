@@ -19,10 +19,16 @@
 // All the distributed-hypervisor machinery in this repository (network
 // fabric, DSM protocol, vCPUs, virtio devices, schedulers) is built on these
 // primitives.
+//
+// The core is engineered for steady-state long runs (see DESIGN.md §10):
+// waiter lists and queues are ring buffers that release popped elements,
+// cancelled timers are lazily deleted from the event heap and compacted
+// once they outnumber live ones, finished processes are reaped from the
+// process table, and internal wake-up timers are pooled on a free list so
+// the hot dispatch path allocates nothing.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime/debug"
 )
@@ -61,52 +67,153 @@ func (t Time) String() string {
 	}
 }
 
+// Timer lifecycle states. A timer is pending while queued, fired once the
+// event loop pops it for execution, and cancelled if Cancel won the race.
+const (
+	timerPending uint8 = iota
+	timerFired
+	timerCancelled
+)
+
 // Timer is a scheduled callback. It can be cancelled before it fires.
+//
+// Internally a timer carries a callback (fn), a process to wake (proc), or
+// a timeout check (proc+ev); the non-callback forms let the hot wake-up and
+// RPC-timeout paths skip closure allocation entirely. Timers created by the
+// core's own primitives are pooled on the environment's free list once they
+// retire; timers returned by At/After are not, because the caller may hold
+// the reference indefinitely.
 type Timer struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	cancelled bool
+	at     Time
+	seq    uint64
+	fn     func()
+	proc   *Proc  // wake-up target; nil for callback timers
+	ev     *Event // with proc: wake only if proc still waits on ev (WaitTimeout)
+	env    *Env
+	gen    uint64 // incarnation count; guards held references to pooled timers
+	state  uint8
+	pooled bool
 }
 
 // Cancel prevents the timer's callback from running. Cancelling an
 // already-fired or already-cancelled timer is a no-op.
-func (t *Timer) Cancel() { t.cancelled = true }
+//
+// The timer stays in the event heap — deleting from the middle of a binary
+// heap is O(n) — and is discarded when popped. The environment counts these
+// corpses and compacts the heap once they outnumber live timers, so an
+// RPC-timeout storm (every reply beating its timeout) keeps the heap
+// bounded by twice the live timer population instead of accumulating dead
+// entries until their far-future deadlines.
+func (t *Timer) Cancel() {
+	if t.state != timerPending {
+		return
+	}
+	t.state = timerCancelled
+	e := t.env
+	e.deadTimers++
+	if len(e.events) >= heapCompactMin && e.deadTimers*2 > len(e.events) {
+		e.compactTimers()
+	}
+}
 
-// eventHeap is a binary heap of timers ordered by (time, sequence).
+// heapCompactMin is the heap size below which compaction is not worth the
+// re-heapify; small heaps drain dead timers quickly on their own.
+const heapCompactMin = 64
+
+// procCompactMin is the process-table size below which finished procs are
+// left in place rather than compacted out.
+const procCompactMin = 32
+
+// eventHeap is a binary heap of timers ordered by (time, sequence). The
+// sift operations are hand-rolled rather than container/heap so the event
+// loop's hottest instructions avoid interface dispatch; because (time, seq)
+// is a total order, pop order — and therefore simulation behavior — is
+// identical to any other correct heap over the same comparator.
 type eventHeap []*Timer
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// timerLess is the (time, sequence) total order on queued timers.
+func timerLess(a, b *Timer) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Timer)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return
+
+// push inserts t, restoring the heap invariant.
+func (h *eventHeap) push(t *Timer) {
+	s := append(*h, t)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !timerLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+// pop removes and returns the earliest timer.
+func (h *eventHeap) pop() *Timer {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	*h = s
+	if n > 1 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+// siftDown restores the invariant below index i.
+func (h *eventHeap) siftDown(i int) {
+	s := *h
+	n := len(s)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && timerLess(s[right], s[left]) {
+			least = right
+		}
+		if !timerLess(s[least], s[i]) {
+			return
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+}
+
+// init heapifies an arbitrarily ordered slice in O(n).
+func (h *eventHeap) init() {
+	for i := len(*h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }
 
 // Env is a simulation environment: a virtual clock plus the pending-event
 // queue. The zero value is not usable; construct with NewEnv.
 type Env struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	yield   chan struct{}
-	current *Proc
-	procErr any
-	stopped bool
-	spawned int
-	procs   []*Proc
-	trace   any
+	now        Time
+	events     eventHeap
+	deadTimers int // cancelled timers still sitting in events
+	timerFree  []*Timer
+	workerFree []*worker
+	seq        uint64
+	yield      chan struct{}
+	current    *Proc
+	procErr    any
+	stopped    bool
+	spawned    int
+	procs      []*Proc
+	finished   int // finished procs still sitting in procs
+	trace      any
 }
 
 // SetTrace attaches an opaque tracing context to the environment. The sim
@@ -126,16 +233,70 @@ func NewEnv() *Env {
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
 
+// schedule queues a timer at absolute time at, carrying either a process to
+// wake or a callback. Pooled timers are drawn from (and later returned to)
+// the free list; only timers whose references never escape the core may be
+// pooled, since a recycled timer that an old holder could still Cancel
+// would cancel an unrelated future event.
+func (e *Env) schedule(at Time, proc *Proc, fn func(), pooled bool) *Timer {
+	var tm *Timer
+	if n := len(e.timerFree) - 1; pooled && n >= 0 {
+		tm = e.timerFree[n]
+		e.timerFree[n] = nil
+		e.timerFree = e.timerFree[:n]
+	} else {
+		tm = &Timer{env: e}
+	}
+	tm.at, tm.seq, tm.proc, tm.fn, tm.state, tm.pooled = at, e.seq, proc, fn, timerPending, pooled
+	tm.gen++
+	e.seq++
+	e.events.push(tm)
+	return tm
+}
+
+// wake schedules a pooled dispatch of p at the current time: the
+// allocation-free fast path under every Sleep return, Event broadcast,
+// Queue hand-off, and Mutex transfer.
+func (e *Env) wake(p *Proc) { e.schedule(e.now, p, nil, true) }
+
+// recycle retires a timer popped from the heap. Pooled timers return to the
+// free list; others just drop their references so a caller-held Timer does
+// not pin its callback.
+func (e *Env) recycle(t *Timer) {
+	t.fn, t.proc, t.ev = nil, nil, nil
+	if t.pooled {
+		e.timerFree = append(e.timerFree, t)
+	}
+}
+
+// compactTimers removes cancelled timers from the event heap and restores
+// the heap invariant. Ordering of live timers is untouched: the heap is
+// rebuilt under the same (time, seq) total order, so compaction can never
+// perturb simulation results.
+func (e *Env) compactTimers() {
+	live := e.events[:0]
+	for _, t := range e.events {
+		if t.state == timerCancelled {
+			e.recycle(t)
+			continue
+		}
+		live = append(live, t)
+	}
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = live
+	e.deadTimers = 0
+	e.events.init()
+}
+
 // At schedules fn to run at absolute virtual time t, which must not be in
 // the past. The returned Timer may be used to cancel the callback.
 func (e *Env) At(t Time, fn func()) *Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: At(%v) is in the past (now %v)", t, e.now))
 	}
-	tm := &Timer{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, tm)
-	return tm
+	return e.schedule(t, nil, fn, false)
 }
 
 // After schedules fn to run d nanoseconds from now. Negative delays panic.
@@ -143,21 +304,42 @@ func (e *Env) After(d Time, fn func()) *Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: After(%v) with negative delay", d))
 	}
-	return e.At(e.now+d, fn)
+	return e.schedule(e.now+d, nil, fn, false)
+}
+
+// Defer schedules fn like After but on a pooled timer and returns nothing:
+// the fire-and-forget variant for hot paths (message delivery, fabric
+// hops) that never cancel. Because the timer is recycled after firing,
+// there is deliberately no handle to keep.
+func (e *Env) Defer(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Defer(%v) with negative delay", d))
+	}
+	e.schedule(e.now+d, nil, fn, true)
+}
+
+// DeferAt is Defer at an absolute virtual time, which must not be in the
+// past.
+func (e *Env) DeferAt(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: DeferAt(%v) is in the past (now %v)", t, e.now))
+	}
+	e.schedule(t, nil, fn, true)
 }
 
 // Stop makes Run return after the current event completes. Pending events
 // are kept; a subsequent Run resumes the simulation.
 func (e *Env) Stop() { e.stopped = true }
 
-// Pending returns the number of queued (possibly cancelled) events.
+// Pending returns the number of queued (possibly cancelled) events. Heap
+// compaction keeps this within a factor of two of the live event count.
 func (e *Env) Pending() int { return len(e.events) }
 
 // LiveProcs returns the names of processes that have been spawned but have
-// not finished. After Run returns with an empty event queue, any live
-// process is blocked on an event that will never fire — the definition of
-// a simulation deadlock — so fault-injection harnesses assert this list is
-// empty (or contains only intentionally-immortal daemons).
+// not finished, in spawn order. After Run returns with an empty event
+// queue, any live process is blocked on an event that will never fire — the
+// definition of a simulation deadlock — so fault-injection harnesses assert
+// this list is empty (or contains only intentionally-immortal daemons).
 func (e *Env) LiveProcs() []string {
 	var out []string
 	for _, p := range e.procs {
@@ -167,6 +349,14 @@ func (e *Env) LiveProcs() []string {
 	}
 	return out
 }
+
+// Spawned returns the total number of processes ever spawned.
+func (e *Env) Spawned() int { return e.spawned }
+
+// Scheduled returns the total number of events ever scheduled — the
+// simulation's work metric, used by the perf harness to report soak sizes
+// and events/second.
+func (e *Env) Scheduled() uint64 { return e.seq }
 
 // Run executes events in order until the queue is empty or Stop is called.
 // If any process panics, Run re-panics with the process's stack trace.
@@ -183,12 +373,28 @@ func (e *Env) RunUntil(deadline Time) {
 			e.now = deadline
 			return
 		}
-		heap.Pop(&e.events)
-		if next.cancelled {
+		e.events.pop()
+		if next.state == timerCancelled {
+			e.deadTimers--
+			e.recycle(next)
 			continue
 		}
+		next.state = timerFired
 		e.now = next.at
-		next.fn()
+		switch {
+		case next.ev != nil:
+			// WaitTimeout deadline: wake the proc only if it is still
+			// parked on the event (a successful removal proves the event
+			// has not fired, so the proc observes the timeout).
+			if next.ev.removeWaiter(next.proc) {
+				e.dispatch(next.proc)
+			}
+		case next.proc != nil:
+			e.dispatch(next.proc)
+		default:
+			next.fn()
+		}
+		e.recycle(next)
 		if e.procErr != nil {
 			err := e.procErr
 			e.procErr = nil
@@ -204,32 +410,123 @@ func (e *Env) RunUntil(deadline Time) {
 // current virtual time. The name appears in diagnostics.
 func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
 	p := &Proc{
-		env:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		fn:     fn,
+		env:  e,
+		name: name,
+		fn:   fn,
 	}
 	p.done = e.NewEvent()
 	e.spawned++
 	e.procs = append(e.procs, p)
-	e.After(0, func() { e.dispatch(p) })
+	e.wake(p)
 	return p
 }
 
 // dispatch hands control of the event loop to p until p parks or finishes.
+// The dispatch on which p finishes also reaps it: once finished procs
+// outnumber live ones the process table is compacted (preserving spawn
+// order of survivors), so week-long fleet runs do not accumulate every
+// proc ever spawned and LiveProcs stays O(live). Reaping happens at this
+// single deterministic point in event execution, never from a finalizer or
+// background task, so it cannot perturb same-seed runs.
 func (e *Env) dispatch(p *Proc) {
 	if p.finished {
 		panic(fmt.Sprintf("sim: dispatch of finished proc %q", p.name))
 	}
-	if !p.started {
-		p.started = true
-		go p.main()
+	if p.w == nil {
+		e.bind(p)
 	}
 	prev := e.current
 	e.current = p
-	p.resume <- struct{}{}
+	p.w.resume <- struct{}{}
 	<-e.yield
 	e.current = prev
+	if p.finished {
+		e.finished++
+		if len(e.procs) >= procCompactMin && e.finished*2 > len(e.procs) {
+			e.compactProcs()
+		}
+	}
+}
+
+// bind attaches a worker — a pooled goroutine + resume channel — to a proc
+// about to run for the first time. Workers are recycled from finished
+// procs, so a simulation that churns through short-lived processes (one
+// per DSM fault handler, for instance) reuses a small set of goroutines
+// whose stacks are already grown instead of paying goroutine creation and
+// stack-growth copying on every spawn.
+func (e *Env) bind(p *Proc) {
+	var w *worker
+	if n := len(e.workerFree) - 1; n >= 0 {
+		w = e.workerFree[n]
+		e.workerFree[n] = nil
+		e.workerFree = e.workerFree[:n]
+	} else {
+		w = &worker{env: e, resume: make(chan struct{})}
+		go w.loop()
+	}
+	w.p = p
+	p.w = w
+}
+
+// compactProcs rebuilds the process table keeping only live procs, in
+// spawn order.
+func (e *Env) compactProcs() {
+	live := e.procs[:0]
+	for _, p := range e.procs {
+		if !p.finished {
+			live = append(live, p)
+		}
+	}
+	for i := len(live); i < len(e.procs); i++ {
+		e.procs[i] = nil
+	}
+	e.procs = live
+	e.finished = 0
+}
+
+// worker is a pooled coroutine backing: one goroutine plus its rendezvous
+// channel, reused across the lifetimes of many Procs. The goroutine loops
+// forever, running one proc function per iteration and parking itself on
+// the environment's free list in between.
+type worker struct {
+	env    *Env
+	resume chan struct{}
+	p      *Proc // proc currently bound; nil while idle
+}
+
+// loop is the worker goroutine's body. Each iteration runs one proc to
+// completion; the hand-off discipline is identical to the old
+// one-goroutine-per-proc design (exactly one of {event loop, one worker}
+// runs at any instant, sequenced by the yield/resume channels), so process
+// code still never races. Returning the worker to the free list happens
+// before the final yield, while the event loop is still parked — no
+// concurrent mutation of environment state.
+func (w *worker) loop() {
+	for {
+		<-w.resume
+		p := w.p
+		w.run(p)
+		p.finished = true
+		if !p.done.Fired() {
+			p.done.Fire()
+		}
+		p.fn = nil
+		p.w = nil
+		w.p = nil
+		w.env.workerFree = append(w.env.workerFree, w)
+		w.env.yield <- struct{}{}
+	}
+}
+
+// run executes the proc function, converting a panic into the
+// environment's pending proc error (re-raised by Run).
+func (w *worker) run(p *Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.env.procErr = fmt.Errorf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack())
+		}
+	}()
+	p.fn(p)
 }
 
 // Proc is a simulated process: a coroutine whose blocking operations
@@ -238,10 +535,9 @@ func (e *Env) dispatch(p *Proc) {
 type Proc struct {
 	env      *Env
 	name     string
-	resume   chan struct{}
+	w        *worker
 	fn       func(*Proc)
 	done     *Event
-	started  bool
 	finished bool
 	span     int64
 }
@@ -266,28 +562,14 @@ func (p *Proc) Now() Time { return p.env.now }
 // Done returns an event fired when the process function returns.
 func (p *Proc) Done() *Event { return p.done }
 
-func (p *Proc) main() {
-	<-p.resume
-	defer func() {
-		if r := recover(); r != nil {
-			p.env.procErr = fmt.Errorf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack())
-		}
-		p.finished = true
-		if !p.done.Fired() {
-			p.done.Fire()
-		}
-		p.env.yield <- struct{}{}
-	}()
-	p.fn(p)
-}
-
 // park returns control to the event loop until the proc is re-dispatched.
 func (p *Proc) park() {
 	if p.env.current != p {
 		panic(fmt.Sprintf("sim: proc %q parking while not current", p.name))
 	}
+	w := p.w
 	p.env.yield <- struct{}{}
-	<-p.resume
+	<-w.resume
 }
 
 // Sleep suspends the process for d nanoseconds of virtual time.
@@ -298,14 +580,14 @@ func (p *Proc) Sleep(d Time) {
 	if d == 0 {
 		return
 	}
-	p.env.After(d, func() { p.env.dispatch(p) })
+	p.env.schedule(p.env.now+d, p, nil, true)
 	p.park()
 }
 
 // Yield reschedules the process at the current time, letting other events
 // at the same timestamp run first.
 func (p *Proc) Yield() {
-	p.env.After(0, func() { p.env.dispatch(p) })
+	p.env.wake(p)
 	p.park()
 }
 
@@ -315,7 +597,7 @@ func (p *Proc) Wait(ev *Event) {
 	if ev.fired {
 		return
 	}
-	ev.waiters = append(ev.waiters, p)
+	ev.addWaiter(p)
 	p.park()
 }
 
@@ -337,35 +619,42 @@ func (p *Proc) WaitTimeout(ev *Event, d Time) bool {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: WaitTimeout(%v) with negative timeout", d))
 	}
-	ev.waiters = append(ev.waiters, p)
-	timedOut := false
-	tm := p.env.After(d, func() {
-		// Only time out if the event has not already claimed the proc:
-		// Fire clears the waiter list, so finding p there means the
-		// event has not fired and p is still parked on it.
-		for i, w := range ev.waiters {
-			if w == p {
-				ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
-				timedOut = true
-				p.env.dispatch(p)
-				return
-			}
-		}
-	})
+	ev.addWaiter(p)
+	// A timeout timer carries (proc, ev) instead of a closure: when it
+	// fires, the event loop wakes p only if removing it from ev's waiter
+	// list succeeds — Fire clears the list, so a successful removal proves
+	// the event has not fired. After resuming, ev.fired distinguishes the
+	// two wake-up reasons. The timer is pooled and the whole path
+	// allocates nothing.
+	tm := p.env.schedule(p.env.now+d, p, nil, true)
+	tm.ev = ev
+	gen := tm.gen
 	p.park()
-	if !timedOut {
-		tm.Cancel()
+	if ev.fired {
+		// Cancel only our own incarnation: if the reply and the deadline
+		// raced at the same timestamp, the timer already fired as a no-op
+		// (waiter removal failed), was recycled, and may since back a
+		// different pooled event.
+		if tm.gen == gen {
+			tm.Cancel()
+		}
+		return true
 	}
-	return !timedOut
+	return false
 }
 
 // Event is a one-shot broadcast signal. Construct with Env.NewEvent. Firing
 // wakes all waiting processes (in wait order) and runs registered callbacks.
+//
+// The first waiter is stored inline: the overwhelmingly common case — an
+// RPC reply event with exactly one blocked caller — allocates no waiter
+// list at all.
 type Event struct {
-	env     *Env
-	fired   bool
-	waiters []*Proc
-	cbs     []func()
+	env   *Env
+	fired bool
+	w0    *Proc   // first waiter (nil when no waiters)
+	more  []*Proc // additional waiters, in arrival order
+	cbs   []func()
 }
 
 // NewEvent returns an unfired event bound to the environment.
@@ -374,6 +663,42 @@ func (e *Env) NewEvent() *Event { return &Event{env: e} }
 // Fired reports whether the event has been fired.
 func (ev *Event) Fired() bool { return ev.fired }
 
+// addWaiter appends p to the waiter list. Invariant: w0 holds the
+// longest-waiting proc whenever any waiter exists.
+func (ev *Event) addWaiter(p *Proc) {
+	if ev.w0 == nil {
+		ev.w0 = p
+	} else {
+		ev.more = append(ev.more, p)
+	}
+}
+
+// removeWaiter deletes p from the waiter list, preserving arrival order of
+// the rest, and reports whether p was waiting.
+func (ev *Event) removeWaiter(p *Proc) bool {
+	if ev.w0 == p {
+		if n := len(ev.more); n > 0 {
+			ev.w0 = ev.more[0]
+			copy(ev.more, ev.more[1:])
+			ev.more[n-1] = nil
+			ev.more = ev.more[:n-1]
+		} else {
+			ev.w0 = nil
+		}
+		return true
+	}
+	for i, w := range ev.more {
+		if w == p {
+			n := len(ev.more)
+			copy(ev.more[i:], ev.more[i+1:])
+			ev.more[n-1] = nil
+			ev.more = ev.more[:n-1]
+			return true
+		}
+	}
+	return false
+}
+
 // Fire triggers the event. Firing twice panics: one-shot events firing more
 // than once almost always indicate a protocol bug in the caller.
 func (ev *Event) Fire() {
@@ -381,14 +706,16 @@ func (ev *Event) Fire() {
 		panic("sim: event fired twice")
 	}
 	ev.fired = true
-	for _, w := range ev.waiters {
-		w := w
-		ev.env.After(0, func() { ev.env.dispatch(w) })
+	if ev.w0 != nil {
+		ev.env.wake(ev.w0)
+		ev.w0 = nil
 	}
-	ev.waiters = nil
+	for _, w := range ev.more {
+		ev.env.wake(w)
+	}
+	ev.more = nil
 	for _, cb := range ev.cbs {
-		cb := cb
-		ev.env.After(0, cb)
+		ev.env.schedule(ev.env.now, nil, cb, true)
 	}
 	ev.cbs = nil
 }
@@ -397,7 +724,7 @@ func (ev *Event) Fire() {
 // fires. If the event already fired, fn is scheduled immediately.
 func (ev *Event) OnFire(fn func()) {
 	if ev.fired {
-		ev.env.After(0, fn)
+		ev.env.schedule(ev.env.now, nil, fn, true)
 		return
 	}
 	ev.cbs = append(ev.cbs, fn)
@@ -408,7 +735,7 @@ func (ev *Event) OnFire(fn func()) {
 type Mutex struct {
 	env     *Env
 	locked  bool
-	waiters []*Proc
+	waiters ring[*Proc]
 }
 
 // NewMutex returns an unlocked mutex bound to the environment.
@@ -420,7 +747,7 @@ func (m *Mutex) Lock(p *Proc) {
 		m.locked = true
 		return
 	}
-	m.waiters = append(m.waiters, p)
+	m.waiters.push(p)
 	p.park()
 	// Ownership was transferred to us by Unlock; m.locked stays true.
 }
@@ -431,13 +758,11 @@ func (m *Mutex) Unlock() {
 	if !m.locked {
 		panic("sim: unlock of unlocked mutex")
 	}
-	if len(m.waiters) == 0 {
+	if m.waiters.len() == 0 {
 		m.locked = false
 		return
 	}
-	next := m.waiters[0]
-	m.waiters = m.waiters[1:]
-	m.env.After(0, func() { m.env.dispatch(next) })
+	m.env.wake(m.waiters.pop())
 }
 
 // Locked reports whether the mutex is currently held.
