@@ -5,9 +5,9 @@
 GO ?= go
 
 .PHONY: check check-race fmt vet build test race bench-smoke trace-smoke \
-	bench-json perf-smoke
+	bench-json perf-smoke sweep-smoke
 
-check: fmt vet build race bench-smoke perf-smoke
+check: fmt vet build race bench-smoke perf-smoke sweep-smoke
 	@echo "check: all gates passed"
 
 fmt:
@@ -36,10 +36,11 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Full perf snapshot: microbenchmarks at BENCHTIME each, the figure
-# suite, and a >10^6-event fleet soak with a steady-state heap assertion.
-# Regenerates BENCH_pr4.json; see "Performance tracking" in the README.
+# suite, a >10^6-event fleet soak with a steady-state heap assertion, and
+# a parallel-sweep scaling benchmark. Regenerates BENCH_pr6.json; see
+# "Performance tracking" in the README.
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_pr4.json
+BENCHOUT ?= BENCH_pr6.json
 bench-json:
 	$(GO) run ./cmd/fragperf -benchtime $(BENCHTIME) -out $(BENCHOUT)
 
@@ -53,3 +54,13 @@ perf-smoke:
 # not sum to the total or the JSON is malformed.
 trace-smoke:
 	$(GO) run ./cmd/fragtrace -experiment fig4 -scale 0.005 -out /tmp/fragtrace-smoke.json
+
+# Determinism-under-concurrency gate: the same >=16-run fragsweep grid
+# (2 experiments x 8 seeds) run sequentially and across the worker pool
+# must produce byte-identical JSON. -parallel changes wall time, never
+# bytes.
+sweep-smoke:
+	$(GO) run ./cmd/fragsweep -scales 0.02 -seeds 8 -runs -json -parallel 1 > /tmp/fragsweep-seq.json
+	$(GO) run ./cmd/fragsweep -scales 0.02 -seeds 8 -runs -json > /tmp/fragsweep-par.json
+	cmp /tmp/fragsweep-seq.json /tmp/fragsweep-par.json
+	@echo "sweep-smoke: parallel output byte-identical to sequential"

@@ -8,12 +8,18 @@
 //	fragbench -fig fig12 -scale 1  # full paper scale
 //	fragbench -fig fig4 -scale 0.01 -trace fig4.json
 //	fragbench -fig fig8 -json      # machine-readable tables
+//	fragbench -fig fleetsoak -seeds 8 -parallel 4
 //
 // With -trace, every simulation the selected experiments build is traced,
 // a critical-path breakdown and per-node traffic table are appended to
 // the output, and one combined Chrome trace-event file is written (use a
 // single -fig and a small -scale; see cmd/fragtrace for the dedicated
-// tool). Run "fragbench -list" for the available experiment ids.
+// tool). With -seeds N > 1, each selected experiment runs N times at
+// consecutive seeds across -parallel workers (0 = GOMAXPROCS) and the
+// table reports per-metric statistics across the runs instead of one
+// run's values (see cmd/fragsweep for the full grid tool; -trace does
+// not combine with -seeds). Run "fragbench -list" for the available
+// experiment ids.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"repro/fragvisor"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -35,6 +42,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	traceOut := flag.String("trace", "", "write a combined Chrome trace-event file and append critical-path + traffic tables")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
+	seeds := flag.Int("seeds", 1, "run each experiment at N consecutive seeds and report statistics across runs")
+	parallel := flag.Int("parallel", 0, "worker goroutines for -seeds sweeps (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -49,6 +58,10 @@ func main() {
 
 	o := experiments.Options{Scale: *scale, Seed: *seed}
 	if *traceOut != "" {
+		if *seeds > 1 {
+			fmt.Fprintln(os.Stderr, "fragbench: -trace does not combine with -seeds (the trace session is one run's causality)")
+			os.Exit(2)
+		}
 		o.Trace = trace.NewSession()
 		o.Acct = experiments.NewTraffic()
 	}
@@ -57,19 +70,42 @@ func main() {
 		Table      *metrics.Table `json:"table"`
 	}
 	var results []result
+	emit := func(name string, tab *metrics.Table) {
+		if *jsonOut {
+			results = append(results, result{name, tab})
+			return
+		}
+		fmt.Printf("[%s]\n", name)
+		tab.Fprint(os.Stdout)
+		fmt.Println()
+	}
+	if *seeds > 1 {
+		// Multi-seed mode: each experiment becomes a distribution over N
+		// consecutive seeds, fanned across the sweep engine's worker pool.
+		res, err := experiments.RunSweep(experiments.SweepSpec{
+			Experiments: names,
+			Scales:      []float64{*scale},
+			Seeds:       sweep.Seeds(*seed, *seeds),
+			Parallel:    *parallel,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i, g := range res.Groups {
+			emit(g.Experiment, res.Tables()[i])
+		}
+	}
 	for _, name := range names {
+		if *seeds > 1 {
+			break
+		}
 		tab, err := experiments.Run(name, o)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if *jsonOut {
-			results = append(results, result{name, tab})
-			continue
-		}
-		fmt.Printf("[%s]\n", name)
-		tab.Fprint(os.Stdout)
-		fmt.Println()
+		emit(name, tab)
 	}
 	if *jsonOut {
 		if *traceOut != "" {

@@ -15,10 +15,14 @@
 //     default settings) that samples the live heap at quarter points and
 //     fails the run if steady-state memory grows — the wall-clock
 //     regression guard for the unbounded-growth class of bug.
+//   - sweep: the parallel-speedup benchmark — the same multi-seed
+//     fleet-soak sweep grid timed at increasing worker counts, recording
+//     wall-clock scaling vs workers (speedup is relative to 1 worker on
+//     the same grid; expect ≈linear up to the physical core count).
 //
 // Usage:
 //
-//	fragperf [-out BENCH_pr4.json] [-benchtime 1s] [-quick]
+//	fragperf [-out BENCH_pr6.json] [-benchtime 1s] [-quick]
 //
 // -quick runs every microbenchmark for a single calibration pass and
 // shrinks the soak; it is the CI smoke mode (make perf-smoke).
@@ -38,8 +42,10 @@ import (
 	"repro/fragvisor"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // BenchResult is one microbenchmark's measurement.
@@ -69,21 +75,32 @@ type SoakResult struct {
 	Steady            bool     `json:"steady"`
 }
 
-// Snapshot is the whole perf snapshot; BENCH_pr4.json holds one.
+// SweepScale is one worker count's wall-clock over the speedup grid.
+type SweepScale struct {
+	Workers   int     `json:"workers"`
+	Runs      int     `json:"runs"`
+	WallMs    float64 `json:"wall_ms"`
+	SpeedupX1 float64 `json:"speedup_vs_1"`
+}
+
+// Snapshot is the whole perf snapshot; the checked-in BENCH json holds
+// one.
 type Snapshot struct {
 	Schema       string        `json:"schema"`
 	GoVersion    string        `json:"go_version"`
 	GOOS         string        `json:"goos"`
 	GOARCH       string        `json:"goarch"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
 	Quick        bool          `json:"quick"`
 	Micro        []BenchResult `json:"micro"`
 	Figures      []FigResult   `json:"figures"`
 	Soak         SoakResult    `json:"soak"`
+	Sweep        []SweepScale  `json:"sweep"`
 	PeakRSSBytes int64         `json:"peak_rss_bytes"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr4.json", "output JSON path (- for stdout)")
+	out := flag.String("out", "BENCH_pr6.json", "output JSON path (- for stdout)")
 	benchtime := flag.String("benchtime", "1s", "target run time per microbenchmark (go-test syntax: a duration, or Nx for a fixed iteration count)")
 	quick := flag.Bool("quick", false, "single-pass smoke mode: one iteration per benchmark, small soak")
 	soakVMs := flag.Int("soak-vms", 48, "fleet VMs per soak wave")
@@ -101,11 +118,12 @@ func main() {
 	}
 
 	snap := Snapshot{
-		Schema:    "fragperf/1",
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Quick:     *quick,
+		Schema:     "fragperf/2",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
 	}
 
 	for _, b := range []struct {
@@ -142,6 +160,12 @@ func main() {
 	fmt.Fprintf(os.Stderr, "%-20s %10d events  %10.1f ms  %12.0f events/s  heap %s  growth %+.1f%%\n",
 		"fleet-soak", snap.Soak.Events, snap.Soak.WallMs, snap.Soak.EventsPerSec,
 		fmtHeapSamples(snap.Soak.HeapSampleBytes), snap.Soak.HeapGrowthPercent)
+
+	snap.Sweep = runSweepScaling(*quick)
+	for _, s := range snap.Sweep {
+		fmt.Fprintf(os.Stderr, "%-20s %4d workers %10.1f ms  %6.2fx vs 1 worker\n",
+			"sweep-speedup", s.Workers, s.WallMs, s.SpeedupX1)
+	}
 
 	snap.PeakRSSBytes = peakRSS()
 
@@ -361,34 +385,11 @@ func runFigure(name string) (FigResult, error) {
 // the final quarter is within 50% (plus a fixed 8 MB slack for pool
 // high-water marks) of the first post-warmup sample.
 func runSoak(vmsPerWave, waves int) SoakResult {
-	const (
-		gig    = int64(1) << 30
-		window = 60 * sim.Second
-	)
-	env := sim.NewEnv()
-	f := fleet.New(env, fleet.Config{
-		Nodes: 8, CPUsPerNode: 8, MemPerNode: 32 * gig,
-		Policy: sched.MinFrag, AutoReclaim: true,
-		// A 2 ms consolidation tick is deliberately aggressive: together
-		// with the VM churn it pushes the run past 10⁶ scheduled events,
-		// which is what makes the quarter-point heap samples a meaningful
-		// steady-state witness.
-		RebalanceEvery: 2 * sim.Millisecond,
-		Horizon:        sim.Time(waves) * window,
-	})
-	rng := rand.New(rand.NewSource(42))
-	for w := 0; w < waves; w++ {
-		burst := fleet.GenerateBurst(rng, vmsPerWave, window, 2*gig)
-		for i := range burst {
-			burst[i].ID += w * vmsPerWave
-			burst[i].Arrival += sim.Time(w) * window
-		}
-		f.Submit(burst)
-	}
+	env, f := buildSoak(42, vmsPerWave, waves)
 
 	var samples []uint64
 	start := time.Now()
-	quarter := sim.Time(waves) * window / 4
+	quarter := sim.Time(waves) * soakWindow / 4
 	for q := 1; q <= 4; q++ {
 		env.RunUntil(sim.Time(q) * quarter)
 		runtime.GC()
@@ -411,6 +412,108 @@ func runSoak(vmsPerWave, waves int) SoakResult {
 		HeapGrowthPercent: growth,
 		Steady:            steady,
 	}
+}
+
+// soakWindow is one soak wave's virtual duration.
+const soakWindow = 60 * sim.Second
+
+// buildSoak constructs the fleet-soak scenario: `waves` waves of seeded
+// VM arrivals against an 8-node fleet with auto-reclaim and an
+// aggressively fast consolidation tick.
+func buildSoak(seed int64, vmsPerWave, waves int) (*sim.Env, *fleet.Fleet) {
+	const gig = int64(1) << 30
+	env := sim.NewEnv()
+	f := fleet.New(env, fleet.Config{
+		Nodes: 8, CPUsPerNode: 8, MemPerNode: 32 * gig,
+		Policy: sched.MinFrag, AutoReclaim: true,
+		// A 2 ms consolidation tick is deliberately aggressive: together
+		// with the VM churn it pushes the default run past 10⁶ scheduled
+		// events, which is what makes the quarter-point heap samples a
+		// meaningful steady-state witness.
+		RebalanceEvery: 2 * sim.Millisecond,
+		Horizon:        sim.Time(waves) * soakWindow,
+	})
+	rng := rand.New(rand.NewSource(seed))
+	for w := 0; w < waves; w++ {
+		burst := fleet.GenerateBurst(rng, vmsPerWave, soakWindow, 2*gig)
+		for i := range burst {
+			burst[i].ID += w * vmsPerWave
+			burst[i].Arrival += sim.Time(w) * soakWindow
+		}
+		f.Submit(burst)
+	}
+	return env, f
+}
+
+// soakSweepRunner runs one seeded soak world per grid point and reports
+// its event and admission counts — enough to witness determinism.
+func soakSweepRunner(vmsPerWave, waves int) sweep.Runner {
+	return func(p sweep.Point) (*metrics.Table, error) {
+		env, f := buildSoak(p.Seed, vmsPerWave, waves)
+		env.Run()
+		f.Verify()
+		t := metrics.NewTable("soak", "stat", "value")
+		t.AddRow("events", float64(env.Scheduled()))
+		t.AddRow("admitted", float64(f.Stats().Admitted))
+		return t, nil
+	}
+}
+
+// runSweepScaling is the parallel-speedup benchmark: the multi-seed
+// fleet-soak sweep (each seed one buildSoak world, far smaller than the
+// heap-gate soak) timed at increasing worker counts. Every worker count
+// runs the identical grid, so wall-clock differences are pure
+// parallelism; per-run outputs are byte-identical by the sweep engine's
+// determinism contract. Expect ≈linear speedup up to the physical core
+// count — and none on a single-core host.
+func runSweepScaling(quick bool) []SweepScale {
+	vmsPerWave, waves, seeds := 24, 2, 16
+	if quick {
+		vmsPerWave, seeds = 12, 8
+	}
+	run := soakSweepRunner(vmsPerWave, waves)
+	spec := sweep.Spec{
+		Experiments: []string{"fleet-soak"},
+		Scales:      []float64{1},
+		Seeds:       sweep.Seeds(1, seeds),
+	}
+
+	workers := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		workers = append(workers, p)
+	}
+
+	// Warm-up: page in code and let the runtime grow its heap once so
+	// the 1-worker baseline is not charged for it.
+	warm := spec
+	warm.Seeds = sweep.Seeds(1, 1)
+	if _, err := sweep.Run(warm, 1, run); err != nil {
+		fmt.Fprintf(os.Stderr, "fragperf: sweep warm-up: %v\n", err)
+		os.Exit(1)
+	}
+
+	var out []SweepScale
+	for _, w := range workers {
+		start := time.Now()
+		res, err := sweep.Run(spec, w, run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fragperf: sweep at %d workers: %v\n", w, err)
+			os.Exit(1)
+		}
+		wall := time.Since(start)
+		sc := SweepScale{
+			Workers: w,
+			Runs:    len(res),
+			WallMs:  float64(wall.Microseconds()) / 1e3,
+		}
+		if len(out) > 0 {
+			sc.SpeedupX1 = out[0].WallMs / sc.WallMs
+		} else {
+			sc.SpeedupX1 = 1
+		}
+		out = append(out, sc)
+	}
+	return out
 }
 
 func fmtHeapSamples(s []uint64) string {

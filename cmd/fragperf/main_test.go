@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"runtime"
 	"testing"
+
+	"repro/internal/sweep"
 )
 
 // TestMeasureReportsPerOpCosts checks the calibration loop and the
@@ -91,6 +93,35 @@ func TestSoakSteadyAndSerializable(t *testing.T) {
 	}
 	if back.Soak.Events != s.Events {
 		t.Fatalf("round trip lost Events: %d != %d", back.Soak.Events, s.Events)
+	}
+}
+
+// TestSoakSweepRunnerDeterministicUnderWorkers: the parallel-speedup
+// benchmark's grid produces byte-identical per-seed tables at 1 and 4
+// workers — the property that makes its wall-clock comparison sound.
+func TestSoakSweepRunnerDeterministicUnderWorkers(t *testing.T) {
+	spec := sweep.Spec{
+		Experiments: []string{"fleet-soak"},
+		Scales:      []float64{1},
+		Seeds:       sweep.Seeds(1, 4),
+	}
+	run := soakSweepRunner(4, 1)
+	seq, err := sweep.Run(spec, 1, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sweep.Run(spec, 4, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i].Table.String() != par[i].Table.String() {
+			t.Fatalf("seed %d: parallel soak differs from sequential:\n%s\nvs\n%s",
+				seq[i].Point.Seed, seq[i].Table, par[i].Table)
+		}
+		if seq[i].Values["events"] < 100 {
+			t.Fatalf("seed %d: suspiciously small soak (%v events)", seq[i].Point.Seed, seq[i].Values["events"])
+		}
 	}
 }
 

@@ -1,0 +1,195 @@
+// Command fragsweep runs a grid of experiment instances — the cross
+// product of experiments × scales × seeds — across a worker pool and
+// reports per-metric statistics (mean, p50, p95, min/max, 95% CI)
+// aggregated over the seeds of each (experiment, scale) cell.
+//
+// Usage:
+//
+//	fragsweep                                    # reclaim-vs-evict policy grid, 8 seeds
+//	fragsweep -experiments fleetchurn -seeds 16  # failure-path soak in distribution
+//	fragsweep -experiments fig4 -scales 0.01,0.02 -seeds 4
+//	fragsweep -seeds 8 -parallel 1               # sequential (byte-identical output)
+//	fragsweep -json                              # machine-readable stats tables
+//	fragsweep -runs                              # also print every per-run table
+//
+// The output is a pure function of the grid: -parallel changes wall
+// time, never bytes. When the grid covers both fleetsoak (consolidating
+// reclaims) and fleetsoak-evict (the eviction baseline), a
+// policy-comparison table is appended contrasting the two distributions
+// metric by metric. Run "fragsweep -list" for experiment ids.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+)
+
+func main() {
+	exps := flag.String("experiments", "fleetsoak,fleetsoak-evict", "comma-separated experiment ids")
+	scales := flag.String("scales", "0.05", "comma-separated workload scales")
+	nSeeds := flag.Int("seeds", 8, "number of consecutive seeds")
+	seedBase := flag.Int64("seed", 1, "first seed")
+	seedList := flag.String("seed-list", "", "explicit comma-separated seeds (overrides -seeds/-seed)")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
+	runsOut := flag.Bool("runs", false, "also emit every per-run table")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+
+	spec := experiments.SweepSpec{
+		Experiments: splitNonEmpty(*exps),
+		Scales:      parseFloats(*scales),
+		Parallel:    *parallel,
+	}
+	if *seedList != "" {
+		spec.Seeds = parseInts(*seedList)
+	} else {
+		spec.Seeds = sweep.Seeds(*seedBase, *nSeeds)
+	}
+
+	res, err := experiments.RunSweep(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fragsweep:", err)
+		os.Exit(1)
+	}
+
+	type entry struct {
+		Kind       string         `json:"kind"` // run|stats|comparison
+		Experiment string         `json:"experiment"`
+		Scale      float64        `json:"scale"`
+		Seed       *int64         `json:"seed,omitempty"`
+		Table      *metrics.Table `json:"table"`
+	}
+	var entries []entry
+	if *runsOut {
+		for _, r := range res.Runs {
+			seed := r.Point.Seed
+			entries = append(entries, entry{"run", r.Point.Experiment, r.Point.Scale, &seed, r.Table})
+		}
+	}
+	for i, g := range res.Groups {
+		entries = append(entries, entry{"stats", g.Experiment, g.Scale, nil, res.Tables()[i]})
+	}
+	if cmp := reclaimComparison(res); cmp != nil {
+		entries = append(entries, entry{"comparison", "reclaim-vs-evict", 0, nil, cmp})
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(entries); err != nil {
+			fmt.Fprintln(os.Stderr, "fragsweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, e := range entries {
+		e.Table.Fprint(os.Stdout)
+		fmt.Println()
+	}
+}
+
+// reclaimComparison contrasts the consolidating control plane with the
+// eviction baseline when the grid covers both, per scale: the paper's
+// reclaim-vs-evict argument in distribution instead of as a single
+// anecdote. Returns nil when the grid lacks either side.
+func reclaimComparison(res *experiments.SweepResult) *metrics.Table {
+	type pair struct{ cons, evic *sweep.Group }
+	byScale := map[float64]*pair{}
+	var scales []float64
+	for _, g := range res.Groups {
+		var slot **sweep.Group
+		switch g.Experiment {
+		case "fleetsoak":
+			p := byScale[g.Scale]
+			if p == nil {
+				p = &pair{}
+				byScale[g.Scale] = p
+				scales = append(scales, g.Scale)
+			}
+			slot = &p.cons
+		case "fleetsoak-evict":
+			p := byScale[g.Scale]
+			if p == nil {
+				p = &pair{}
+				byScale[g.Scale] = p
+				scales = append(scales, g.Scale)
+			}
+			slot = &p.evic
+		default:
+			continue
+		}
+		*slot = g
+	}
+	t := metrics.NewTable("Reclaim-vs-evict across seeds (mean per run)",
+		"scale", "metric", "consolidate", "evict")
+	rows := 0
+	for _, sc := range scales {
+		p := byScale[sc]
+		if p.cons == nil || p.evic == nil {
+			continue
+		}
+		for _, m := range []string{"evictions", "reclaims", "migrations", "handbacks", "admitted", "wait_mean_s"} {
+			dc, de := p.cons.Dist(m), p.evic.Dist(m)
+			if dc == nil || de == nil {
+				continue
+			}
+			t.AddRow(sc, m, dc.Stats().Mean, de.Stats().Mean)
+			rows++
+		}
+	}
+	if rows == 0 {
+		return nil
+	}
+	t.AddNote("the lender gets its capacity back either way; only the evict baseline kills borrowers")
+	return t
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, p := range splitNonEmpty(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fragsweep: bad scale %q: %v\n", p, err)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseInts(s string) []int64 {
+	var out []int64
+	for _, p := range splitNonEmpty(s) {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fragsweep: bad seed %q: %v\n", p, err)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

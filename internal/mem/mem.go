@@ -136,6 +136,9 @@ func (l *Layout) RegionOf(p PageID) (Region, bool) {
 	return Region{}, false
 }
 
+// NumRegions returns the number of regions allocated so far.
+func (l *Layout) NumRegions() int { return len(l.regions) }
+
 // Regions returns all allocated regions in allocation order.
 func (l *Layout) Regions() []Region {
 	out := make([]Region, len(l.regions))

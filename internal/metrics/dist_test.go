@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// distFromSamples builds a Dist by Adding samples one at a time.
+func distFromSamples(vs []float64) *Dist {
+	var d Dist
+	for _, v := range vs {
+		d.Add(v)
+	}
+	return &d
+}
+
+// sanitize maps arbitrary quick-generated floats into finite sample
+// values; the statistics are only specified over finite inputs.
+func sanitize(vs []float64) []float64 {
+	out := make([]float64, 0, len(vs))
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		// Clamp to a range where sums cannot overflow to +Inf.
+		out = append(out, math.Mod(v, 1e12))
+	}
+	return out
+}
+
+// TestQuickDistPermutationInvariant: any permutation of the samples
+// yields bit-identical statistics — the property the parallel sweep
+// aggregation leans on.
+func TestQuickDistPermutationInvariant(t *testing.T) {
+	prop := func(raw []float64, permSeed int64) bool {
+		vs := sanitize(raw)
+		perm := append([]float64(nil), vs...)
+		rng := rand.New(rand.NewSource(permSeed))
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		a := distFromSamples(vs).Stats()
+		b := distFromSamples(perm).Stats()
+		return a == b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDistMergeAssociativeCommutative: (a ⊎ b) ⊎ c and a ⊎ (b ⊎ c)
+// and c ⊎ (b ⊎ a) all derive identical statistics.
+func TestQuickDistMergeAssociativeCommutative(t *testing.T) {
+	prop := func(ra, rb, rc []float64) bool {
+		va, vb, vc := sanitize(ra), sanitize(rb), sanitize(rc)
+
+		left := distFromSamples(va)
+		left.Merge(distFromSamples(vb))
+		left.Merge(distFromSamples(vc))
+
+		right := distFromSamples(vb)
+		right.Merge(distFromSamples(vc))
+		r2 := distFromSamples(va)
+		r2.Merge(right)
+
+		rev := distFromSamples(vc)
+		mid := distFromSamples(vb)
+		mid.Merge(distFromSamples(va))
+		rev.Merge(mid)
+
+		ls := left.Stats()
+		return ls == r2.Stats() && ls == rev.Stats()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistEdgeCases pins the n=0, n=1 and identical-sample cases: no NaN,
+// no panic, CI and stddev zero where undefined.
+func TestDistEdgeCases(t *testing.T) {
+	var empty Dist
+	if st := empty.Stats(); st != (DistStats{}) {
+		t.Fatalf("empty Dist stats = %+v, want zero", st)
+	}
+
+	one := distFromSamples([]float64{3.5})
+	st := one.Stats()
+	if st.N != 1 || st.Mean != 3.5 || st.P50 != 3.5 || st.P95 != 3.5 ||
+		st.Min != 3.5 || st.Max != 3.5 || st.Stddev != 0 || st.CI95 != 0 {
+		t.Fatalf("n=1 stats = %+v", st)
+	}
+
+	same := distFromSamples([]float64{2, 2, 2, 2, 2})
+	st = same.Stats()
+	if st.Mean != 2 || st.P50 != 2 || st.P95 != 2 || st.Stddev != 0 || st.CI95 != 0 {
+		t.Fatalf("identical-sample stats = %+v", st)
+	}
+	for _, v := range []float64{st.Mean, st.P50, st.P95, st.Min, st.Max, st.Stddev, st.CI95} {
+		if math.IsNaN(v) {
+			t.Fatalf("identical-sample stats contain NaN: %+v", st)
+		}
+	}
+
+	// Merging with nil is a no-op.
+	d := distFromSamples([]float64{1, 2})
+	d.Merge(nil)
+	if d.N() != 2 {
+		t.Fatalf("Merge(nil) changed N: %d", d.N())
+	}
+}
+
+// TestDistCI95 checks the t-interval against a hand-computed case:
+// samples 1..5 have mean 3, stddev sqrt(2.5), df=4 → t=2.776.
+func TestDistCI95(t *testing.T) {
+	d := distFromSamples([]float64{1, 2, 3, 4, 5})
+	st := d.Stats()
+	want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(st.CI95-want) > 1e-9 {
+		t.Fatalf("CI95 = %g, want %g", st.CI95, want)
+	}
+	if st.Mean != 3 || st.P50 != 3 || st.P95 != 5 || st.Min != 1 || st.Max != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestTCrit95Monotone: critical values shrink toward the normal limit as
+// df grows.
+func TestTCrit95Monotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		v := tCrit95(df)
+		if v > prev {
+			t.Fatalf("tCrit95 not monotone at df=%d: %g > %g", df, v, prev)
+		}
+		prev = v
+	}
+	if tCrit95(10_000) != 1.960 {
+		t.Fatalf("large-df limit = %g, want 1.960", tCrit95(10_000))
+	}
+	if tCrit95(0) != 0 {
+		t.Fatalf("df=0 should be 0")
+	}
+}

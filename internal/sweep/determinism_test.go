@@ -1,0 +1,137 @@
+package sweep_test
+
+// Determinism under concurrency: the whole point of the sweep engine is
+// that fanning a grid across GOMAXPROCS workers changes nothing. For
+// each experiment kind exercised by sweeps — a figure runner, the
+// fault-recovery runner, and the seeded fleet soak/churn runners — these
+// tests run the same grid sequentially (parallel=1) and in parallel
+// (parallel=4) and demand byte-identical per-run tables (text and JSON)
+// and byte-identical aggregated statistics tables. This is the
+// golden-compare approach of the root determinism_test.go applied across
+// goroutines instead of across process runs.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+// runBoth executes the spec sequentially and with 4 workers.
+func runBoth(t *testing.T, s experiments.SweepSpec) (seq, par *experiments.SweepResult) {
+	t.Helper()
+	s.Parallel = 1
+	seq, err := experiments.RunSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Parallel = 4
+	par, err = experiments.RunSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq, par
+}
+
+// compareRuns demands per-seed byte identity between the two sweeps.
+func compareRuns(t *testing.T, seq, par *experiments.SweepResult) {
+	t.Helper()
+	if len(seq.Runs) != len(par.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(seq.Runs), len(par.Runs))
+	}
+	for i := range seq.Runs {
+		a, b := seq.Runs[i], par.Runs[i]
+		if a.Point != b.Point {
+			t.Fatalf("slot %d holds different points: %v vs %v", i, a.Point, b.Point)
+		}
+		if a.Table.String() != b.Table.String() {
+			t.Fatalf("%v: parallel table differs from sequential:\n--- sequential\n%s\n--- parallel\n%s",
+				a.Point, a.Table, b.Table)
+		}
+		aj, err := a.Table.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := b.Table.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(aj, bj) {
+			t.Fatalf("%v: parallel JSON differs from sequential", a.Point)
+		}
+	}
+	sa, pa := seq.Tables(), par.Tables()
+	if len(sa) != len(pa) {
+		t.Fatalf("aggregate table counts differ: %d vs %d", len(sa), len(pa))
+	}
+	for i := range sa {
+		if sa[i].String() != pa[i].String() {
+			t.Fatalf("aggregated stats differ:\n--- sequential\n%s\n--- parallel\n%s", sa[i], pa[i])
+		}
+	}
+}
+
+// TestParallelSweepMatchesSequential covers every sweep-relevant
+// experiment kind: figure runner, recovery (fault schedule + checkpoint
+// restart), seeded fleet soak under both reclaim policies, and the
+// churn scenario with node crash/heal.
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	kinds := []struct {
+		name  string
+		spec  experiments.SweepSpec
+		short bool // runs even with -short
+	}{
+		{"figure", experiments.SweepSpec{
+			Experiments: []string{"fig4"},
+			Scales:      []float64{0.01},
+			Seeds:       sweep.Seeds(42, 4),
+		}, false},
+		{"recovery", experiments.SweepSpec{
+			Experiments: []string{"recovery"},
+			Scales:      []float64{0.02},
+			Seeds:       sweep.Seeds(1, 4),
+		}, false},
+		{"fleetsoak", experiments.SweepSpec{
+			Experiments: []string{"fleetsoak", "fleetsoak-evict"},
+			Scales:      []float64{0.02},
+			Seeds:       sweep.Seeds(1, 4),
+		}, true},
+		{"fleetchurn", experiments.SweepSpec{
+			Experiments: []string{"fleetchurn"},
+			Scales:      []float64{0.02},
+			Seeds:       sweep.Seeds(1, 4),
+		}, true},
+	}
+	for _, k := range kinds {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			if testing.Short() && !k.short {
+				t.Skip("skipped in -short mode")
+			}
+			seq, par := runBoth(t, k.spec)
+			compareRuns(t, seq, par)
+		})
+	}
+}
+
+// TestRepeatedParallelSweepIdentical: two parallel sweeps of the same
+// grid are byte-identical to each other (not just to a sequential run) —
+// scheduling noise between workers must never surface.
+func TestRepeatedParallelSweepIdentical(t *testing.T) {
+	spec := experiments.SweepSpec{
+		Experiments: []string{"fleetsoak"},
+		Scales:      []float64{0.02},
+		Seeds:       sweep.Seeds(10, 6),
+		Parallel:    4,
+	}
+	a, err := experiments.RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiments.RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareRuns(t, a, b)
+}

@@ -1,0 +1,206 @@
+// Package sweep is the parallel multi-seed sweep engine: it fans a grid
+// of independent experiment instances (experiment × scale × seed) out
+// across a worker pool and collects the results back into deterministic
+// grid order, so a parallel sweep is byte-identical to a sequential run
+// of the same grid.
+//
+// The soundness argument is per-Env isolation: every grid point builds
+// its own sim.Env (its own event heap, procs, RNGs, clusters, VMs), and
+// nothing in the simulation stack mutates package-level state, so N
+// points running on N goroutines cannot observe each other. The engine
+// adds the two things isolation alone does not give:
+//
+//   - Deterministic collection. Workers finish in hardware order, but
+//     results land in a slice indexed by grid position — iteration over
+//     Results never depends on completion order.
+//   - Order-invariant aggregation. Per-metric statistics are
+//     metrics.Dist values derived from sample multisets, so folding run
+//     values in any order produces bit-identical tables.
+//
+// The determinism-under-concurrency test suite in this package asserts
+// both properties against the real experiment runners.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Point is one grid position: a single experiment instance.
+type Point struct {
+	Index      int     // position in Spec.Points() order
+	Experiment string  // experiment id (see internal/experiments)
+	Scale      float64 // workload scale
+	Seed       int64   // deterministic seed
+}
+
+// String labels the point.
+func (p Point) String() string {
+	return fmt.Sprintf("%s/scale=%g/seed=%d", p.Experiment, p.Scale, p.Seed)
+}
+
+// Spec describes the grid: the cross product of experiments, scales and
+// seeds, enumerated experiment-major, then scale, then seed.
+type Spec struct {
+	Experiments []string
+	Scales      []float64
+	Seeds       []int64
+}
+
+// Size returns the number of grid points.
+func (s Spec) Size() int { return len(s.Experiments) * len(s.Scales) * len(s.Seeds) }
+
+// Points enumerates the grid in deterministic order.
+func (s Spec) Points() []Point {
+	pts := make([]Point, 0, s.Size())
+	for _, e := range s.Experiments {
+		for _, sc := range s.Scales {
+			for _, seed := range s.Seeds {
+				pts = append(pts, Point{Index: len(pts), Experiment: e, Scale: sc, Seed: seed})
+			}
+		}
+	}
+	return pts
+}
+
+// Seeds returns n consecutive seeds starting at base — the default seed
+// axis for "-seeds N" style sweeps.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}
+
+// Result is one grid point's outcome.
+type Result struct {
+	Point  Point
+	Table  *metrics.Table     // the run's own table (nil on error)
+	Values map[string]float64 // numeric metrics extracted from the table
+	Err    error
+}
+
+// Runner executes one grid point and returns its table. Implementations
+// must be safe for concurrent calls with distinct points: each call
+// builds its own sim.Env and touches no shared mutable state.
+type Runner func(Point) (*metrics.Table, error)
+
+// Run executes every grid point across `parallel` worker goroutines
+// (GOMAXPROCS when parallel <= 0) and returns results in grid order.
+// The returned error is the first (by grid index) per-point error; all
+// points run regardless.
+func Run(spec Spec, parallel int, run Runner) ([]Result, error) {
+	pts := spec.Points()
+	results := make([]Result, len(pts))
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(pts) {
+		parallel = len(pts)
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+
+	// Work distribution: an index channel feeds workers; each worker owns
+	// the result slot for the point it drew, so no two goroutines ever
+	// write the same element and collection order is grid order by
+	// construction.
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				p := pts[i]
+				tab, err := runPoint(run, p)
+				r := Result{Point: p, Table: tab, Err: err}
+				if err == nil {
+					r.Values = Extract(tab)
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := range pts {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("sweep: %s: %w", results[i].Point, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// runPoint invokes the runner, converting a panic (experiment invariant
+// violations panic by convention) into a per-point error instead of
+// tearing down the whole sweep.
+func runPoint(run Runner, p Point) (tab *metrics.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			tab, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return run(p)
+}
+
+// Extract pulls every numeric cell out of a table as named metrics. The
+// metric name is "<row key>/<column header>" where the row key is the
+// row's first cell — just the row key for two-column (stat, value)
+// tables; cells parse as plain floats or as the sim.Time rendering
+// (ns/us/ms/s suffix, normalized to seconds). Non-numeric cells are
+// skipped.
+func Extract(t *metrics.Table) map[string]float64 {
+	out := map[string]float64{}
+	if t == nil {
+		return out
+	}
+	for _, row := range t.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		for j := 1; j < len(row) && j < len(t.Headers); j++ {
+			v, ok := parseCell(row[j])
+			if !ok {
+				continue
+			}
+			name := row[0]
+			if len(t.Headers) > 2 {
+				name += "/" + t.Headers[j]
+			}
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// parseCell parses a table cell as a float, accepting the sim.Time
+// duration rendering (normalized to seconds).
+func parseCell(s string) (float64, bool) {
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, true
+	}
+	for _, u := range []struct {
+		suffix string
+		scale  float64
+	}{{"ns", 1e-9}, {"us", 1e-6}, {"ms", 1e-3}, {"s", 1}} {
+		if num, ok := strings.CutSuffix(s, u.suffix); ok {
+			if v, err := strconv.ParseFloat(num, 64); err == nil {
+				return v * u.scale, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}

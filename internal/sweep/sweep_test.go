@@ -1,0 +1,200 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// fakeRunner derives a deterministic table from the point itself.
+func fakeRunner(p Point) (*metrics.Table, error) {
+	t := metrics.NewTable("fake", "stat", "value")
+	t.AddRow("seed", float64(p.Seed))
+	t.AddRow("scaled", p.Scale*float64(p.Seed))
+	return t, nil
+}
+
+func TestSpecPointsOrder(t *testing.T) {
+	spec := Spec{
+		Experiments: []string{"a", "b"},
+		Scales:      []float64{0.1, 0.2},
+		Seeds:       []int64{7, 8, 9},
+	}
+	pts := spec.Points()
+	if len(pts) != spec.Size() || len(pts) != 12 {
+		t.Fatalf("grid size = %d, want 12", len(pts))
+	}
+	// Experiment-major, then scale, then seed; Index matches position.
+	want0 := Point{Index: 0, Experiment: "a", Scale: 0.1, Seed: 7}
+	want5 := Point{Index: 5, Experiment: "a", Scale: 0.2, Seed: 9}
+	want6 := Point{Index: 6, Experiment: "b", Scale: 0.1, Seed: 7}
+	if pts[0] != want0 || pts[5] != want5 || pts[6] != want6 {
+		t.Fatalf("unexpected enumeration: %+v", pts)
+	}
+	for i, p := range pts {
+		if p.Index != i {
+			t.Fatalf("point %d has Index %d", i, p.Index)
+		}
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	got := Seeds(42, 3)
+	if len(got) != 3 || got[0] != 42 || got[1] != 43 || got[2] != 44 {
+		t.Fatalf("Seeds(42,3) = %v", got)
+	}
+}
+
+// TestRunCollectsInGridOrder: whatever the worker count, results come
+// back keyed by grid index with the right point's table in each slot.
+func TestRunCollectsInGridOrder(t *testing.T) {
+	spec := Spec{Experiments: []string{"x"}, Scales: []float64{1}, Seeds: Seeds(0, 32)}
+	for _, par := range []int{1, 4, 100} {
+		results, err := Run(spec, par, fakeRunner)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", par, err)
+		}
+		if len(results) != 32 {
+			t.Fatalf("parallel=%d: %d results", par, len(results))
+		}
+		for i, r := range results {
+			if r.Point.Index != i || r.Point.Seed != int64(i) {
+				t.Fatalf("parallel=%d: slot %d holds %+v", par, i, r.Point)
+			}
+			if v := r.Values["seed"]; v != float64(i) {
+				t.Fatalf("parallel=%d: slot %d seed value %v", par, i, v)
+			}
+		}
+	}
+}
+
+// TestRunErrorAndPanic: a failing point reports its error (panics
+// included) without losing the other points' results.
+func TestRunErrorAndPanic(t *testing.T) {
+	spec := Spec{Experiments: []string{"x"}, Scales: []float64{1}, Seeds: Seeds(0, 8)}
+	run := func(p Point) (*metrics.Table, error) {
+		switch p.Seed {
+		case 3:
+			return nil, fmt.Errorf("boom")
+		case 5:
+			panic("kaboom")
+		}
+		return fakeRunner(p)
+	}
+	results, err := Run(spec, 4, run)
+	if err == nil || !strings.Contains(err.Error(), "seed=3") {
+		t.Fatalf("want first-by-index error mentioning seed=3, got %v", err)
+	}
+	if results[5].Err == nil || !strings.Contains(results[5].Err.Error(), "kaboom") {
+		t.Fatalf("panic not captured: %v", results[5].Err)
+	}
+	for _, i := range []int{0, 1, 2, 4, 6, 7} {
+		if results[i].Err != nil || results[i].Table == nil {
+			t.Fatalf("healthy point %d damaged: %+v", i, results[i])
+		}
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"3.5", 3.5, true},
+		{"42", 42, true},
+		{"1500ns", 1.5e-6, true},
+		{"2.50us", 2.5e-6, true},
+		{"3.000ms", 0.003, true},
+		{"1.5000s", 1.5, true},
+		{"0..1", 0, false},
+		{"yes", 0, false},
+		{"node0:4", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseCell(c.in)
+		if ok != c.ok || (ok && !closeEnough(got, c.want)) {
+			t.Fatalf("parseCell(%q) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-12*(1+b)
+}
+
+func TestExtract(t *testing.T) {
+	tab := metrics.NewTable("x", "row", "a", "b")
+	tab.AddRow("r1", 1.0, "text")
+	tab.AddRow("r2", "5ms", 2.0)
+	vals := Extract(tab)
+	want := map[string]float64{"r1/a": 1, "r2/a": 0.005, "r2/b": 2}
+	if len(vals) != len(want) {
+		t.Fatalf("Extract = %v, want %v", vals, want)
+	}
+	for k, v := range want {
+		if vals[k] != v {
+			t.Fatalf("Extract[%q] = %v, want %v", k, vals[k], v)
+		}
+	}
+}
+
+// TestAggregateGroups: grouping is per (experiment, scale) in grid
+// order, stats fold across seeds, and the rendered table is identical
+// regardless of the order results are presented in.
+func TestAggregateGroups(t *testing.T) {
+	spec := Spec{
+		Experiments: []string{"a", "b"},
+		Scales:      []float64{0.5},
+		Seeds:       Seeds(1, 4),
+	}
+	results, err := Run(spec, 2, fakeRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := Aggregate(results)
+	if len(groups) != 2 || groups[0].Experiment != "a" || groups[1].Experiment != "b" {
+		t.Fatalf("groups = %+v", groups)
+	}
+	g := groups[0]
+	if g.Runs != 4 {
+		t.Fatalf("group runs = %d", g.Runs)
+	}
+	st := g.Dist("seed").Stats()
+	if st.N != 4 || st.Mean != 2.5 || st.Min != 1 || st.Max != 4 {
+		t.Fatalf("seed dist stats = %+v", st)
+	}
+
+	// Same multiset presented reversed → byte-identical per-group tables
+	// (group enumeration follows presentation order; the statistics must
+	// not).
+	rev := make([]Result, len(results))
+	for i, r := range results {
+		rev[len(results)-1-i] = r
+	}
+	a := renderGroupsByKey(Aggregate(results))
+	b := renderGroupsByKey(Aggregate(rev))
+	if len(a) != len(b) {
+		t.Fatalf("group count depends on order: %d vs %d", len(a), len(b))
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("aggregation of %q depends on result order:\n%s\nvs\n%s", k, a[k], b[k])
+		}
+	}
+}
+
+func renderGroupsByKey(groups []*Group) map[string]string {
+	out := map[string]string{}
+	for _, g := range groups {
+		out[fmt.Sprintf("%s/%g", g.Experiment, g.Scale)] = g.Table().String()
+	}
+	return out
+}

@@ -44,13 +44,12 @@ func (m SharingMode) String() string {
 	}
 }
 
-var microRegions int
-
 // microRegion carves a fresh device-independent page run for a
-// microbenchmark instance.
+// microbenchmark instance. The name is derived from the VM's own layout
+// (not a package-level counter, which would race across concurrent
+// sweep runs and make region names depend on process history).
 func microRegion(vm *hypervisor.VM, pages int64) mem.Region {
-	microRegions++
-	return vm.Layout.Alloc(fmt.Sprintf("micro%d", microRegions), pages, mem.KindHeap)
+	return vm.Layout.Alloc(fmt.Sprintf("micro%d", vm.Layout.NumRegions()+1), pages, mem.KindHeap)
 }
 
 // SharingLoop runs the Fig 4 microbenchmark: one thread per vCPU, each

@@ -64,6 +64,50 @@ func TestSmokeCmdFragbench(t *testing.T) {
 	}
 }
 
+func TestSmokeCmdFragsweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run smoke test in -short mode")
+	}
+	out := runSmoke(t, "./cmd/fragsweep", "-list")
+	for _, want := range []string{"fleetsoak", "fleetsoak-evict", "fleetchurn"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fragsweep -list output lacks %q:\n%s", want, out)
+		}
+	}
+	// The default reclaim-vs-evict grid shrunk to 4 seeds, sequentially
+	// and across the worker pool: the JSON must parse, carry per-run and
+	// stats entries plus the policy-comparison table, and be
+	// byte-identical between the two runs.
+	args := []string{"-scales", "0.02", "-seeds", "4", "-runs", "-json"}
+	seq := runSmoke(t, "./cmd/fragsweep", append(args, "-parallel", "1")...)
+	par := runSmoke(t, "./cmd/fragsweep", append(args, "-parallel", "4")...)
+	if seq != par {
+		t.Fatal("fragsweep output differs between -parallel 1 and -parallel 4")
+	}
+	var entries []struct {
+		Kind       string `json:"kind"`
+		Experiment string `json:"experiment"`
+		Table      struct {
+			Rows [][]string `json:"rows"`
+		} `json:"table"`
+	}
+	if err := json.Unmarshal([]byte(seq), &entries); err != nil {
+		t.Fatalf("fragsweep -json output is not valid JSON: %v\n%s", err, seq)
+	}
+	kinds := map[string]int{}
+	for _, e := range entries {
+		kinds[e.Kind]++
+		if len(e.Table.Rows) == 0 {
+			t.Fatalf("fragsweep emitted an empty %s table for %s", e.Kind, e.Experiment)
+		}
+	}
+	// 2 experiments x 4 seeds = 8 run tables, 2 stats tables, and the
+	// reclaim-vs-evict comparison the default grid enables.
+	if kinds["run"] != 8 || kinds["stats"] != 2 || kinds["comparison"] != 1 {
+		t.Fatalf("fragsweep entry kinds = %v, want 8 runs, 2 stats, 1 comparison", kinds)
+	}
+}
+
 func TestSmokeCmdFragfleet(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping go-run smoke test in -short mode")
