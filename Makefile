@@ -5,9 +5,9 @@
 GO ?= go
 
 .PHONY: check check-race fmt vet build test race bench-smoke trace-smoke \
-	bench-json perf-smoke sweep-smoke
+	bench-json perf-smoke sweep-smoke balloon-smoke
 
-check: fmt vet build race bench-smoke perf-smoke sweep-smoke
+check: fmt vet build race bench-smoke perf-smoke sweep-smoke balloon-smoke
 	@echo "check: all gates passed"
 
 fmt:
@@ -37,10 +37,10 @@ bench-smoke:
 
 # Full perf snapshot: microbenchmarks at BENCHTIME each, the figure
 # suite, a >10^6-event fleet soak with a steady-state heap assertion, and
-# a parallel-sweep scaling benchmark. Regenerates BENCH_pr6.json; see
+# a parallel-sweep scaling benchmark. Regenerates BENCH_pr7.json; see
 # "Performance tracking" in the README.
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_pr6.json
+BENCHOUT ?= BENCH_pr7.json
 bench-json:
 	$(GO) run ./cmd/fragperf -benchtime $(BENCHTIME) -out $(BENCHOUT)
 
@@ -64,3 +64,18 @@ sweep-smoke:
 	$(GO) run ./cmd/fragsweep -scales 0.02 -seeds 8 -runs -json > /tmp/fragsweep-par.json
 	cmp /tmp/fragsweep-seq.json /tmp/fragsweep-par.json
 	@echo "sweep-smoke: parallel output byte-identical to sequential"
+
+# Three-way reclaim-policy gate: the consolidate/evict/resize soak grid
+# (3 experiments x 6 seeds = 18 runs) must be byte-identical across
+# worker counts, and the appended policy-comparison table must carry one
+# row per policy.
+balloon-smoke:
+	$(GO) run ./cmd/fragsweep -experiments fleetsoak,fleetsoak-evict,fleetsoak-resize \
+		-scales 0.02 -seeds 6 -json -parallel 1 > /tmp/balloon-seq.json
+	$(GO) run ./cmd/fragsweep -experiments fleetsoak,fleetsoak-evict,fleetsoak-resize \
+		-scales 0.02 -seeds 6 -json > /tmp/balloon-par.json
+	cmp /tmp/balloon-seq.json /tmp/balloon-par.json
+	grep -q '"consolidate"' /tmp/balloon-par.json
+	grep -q '"evict"' /tmp/balloon-par.json
+	grep -q '"resize"' /tmp/balloon-par.json
+	@echo "balloon-smoke: three-policy grid byte-identical; all policy rows present"

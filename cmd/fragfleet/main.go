@@ -10,8 +10,9 @@
 //	fragfleet                                # 8 nodes, 40 VMs, 60 s burst
 //	fragfleet -nodes 4 -vms 20 -seed 7
 //	fragfleet -reclaim-at 2@30 -policy minfrag
-//	fragfleet -reclaim-at 2@30 -evict        # the eviction baseline
-//	fragfleet -crash 1@25                    # inject a node failure
+//	fragfleet -reclaim-at 2@30 -reclaim evict   # the eviction baseline
+//	fragfleet -reclaim-at 2@30 -reclaim resize  # balloon borrowers instead
+//	fragfleet -crash 1@25                       # inject a node failure
 package main
 
 import (
@@ -40,7 +41,8 @@ func main() {
 	sample := flag.Float64("sample", 10, "timeline sampling period, seconds")
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	policy := flag.String("policy", "minfrag", "placement policy: minfrag or minnodes")
-	evict := flag.Bool("evict", false, "reclaim by evicting borrowers (baseline) instead of consolidating")
+	evict := flag.Bool("evict", false, "shorthand for -reclaim evict")
+	reclaim := flag.String("reclaim", "consolidate", "reclaim policy: consolidate, evict, or resize")
 	autoReclaim := flag.Bool("auto-reclaim", true, "reclaim leases to admit otherwise-unplaceable requests")
 	rebalance := flag.Float64("rebalance", 10, "consolidation tick period, seconds (0 disables)")
 	reclaimAt := flag.String("reclaim-at", "", "owner-driven reclaim, node@seconds (e.g. 2@30)")
@@ -67,6 +69,16 @@ func main() {
 	cfg.AutoReclaim = *autoReclaim
 	cfg.RebalanceEvery = sim.FromSeconds(*rebalance)
 	cfg.Horizon = sim.FromSeconds(*until)
+	switch *reclaim {
+	case "consolidate":
+	case "evict":
+		cfg.Reclaim = fleet.ReclaimEvict
+	case "resize":
+		cfg.Reclaim = fleet.ReclaimResize
+	default:
+		fmt.Fprintf(os.Stderr, "fragfleet: unknown reclaim policy %q\n", *reclaim)
+		os.Exit(1)
+	}
 	if *evict {
 		cfg.Reclaim = fleet.ReclaimEvict
 	}
@@ -148,6 +160,11 @@ func main() {
 		st.Admitted, st.SingleNode, st.Gangs, st.Queued, st.MaxQueue, st.Requeues)
 	waits.AddNote("leases %d, reclaims %d (%d deferred), evictions %d, migrations %d, rebalances %d, handbacks %d",
 		st.Leases, st.Reclaims, st.ReclaimsDeferred, st.Evictions, st.Migrations, st.Rebalances, st.Handbacks)
+	if st.Inflations > 0 || st.Deflations > 0 {
+		waits.AddNote("balloon: %d inflations (%d vCPUs), %d deflations (%d vCPUs), %.3f ballooned cpu-sec, mean slowdown %.3f",
+			st.Inflations, st.InflatedVCPUs, st.Deflations, st.DeflatedVCPUs,
+			float64(st.BalloonedTime)/float64(sim.Second), st.MeanSlowdown())
+	}
 	if st.NodeFailures > 0 {
 		waits.AddNote("node failures %d, fragment restarts %d", st.NodeFailures, st.Restarts)
 	}

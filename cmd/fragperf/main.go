@@ -8,7 +8,8 @@
 //   - micro: targeted microbenchmarks of the sim core (event dispatch,
 //     proc wake, queue churn, mutex hand-off, WaitTimeout storm, spawn
 //     churn) plus the engine's hottest composite paths (DSM remote write
-//     fault, vCPU migration) — ns/op, bytes/op, allocs/op.
+//     fault, vCPU migration, balloon inflate round trip, working-set
+//     estimator update) — ns/op, bytes/op, allocs/op.
 //   - figures: one timed pass over every paper-figure experiment at quick
 //     scale, the same set the Benchmark* suite in bench_test.go covers.
 //   - soak: a long fleet-control-plane run (≥ 10⁶ scheduled events at
@@ -22,7 +23,7 @@
 //
 // Usage:
 //
-//	fragperf [-out BENCH_pr6.json] [-benchtime 1s] [-quick]
+//	fragperf [-out BENCH_pr7.json] [-benchtime 1s] [-quick]
 //
 // -quick runs every microbenchmark for a single calibration pass and
 // shrinks the soak; it is the CI smoke mode (make perf-smoke).
@@ -40,6 +41,7 @@ import (
 	"time"
 
 	"repro/fragvisor"
+	"repro/internal/balloon"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
@@ -100,7 +102,7 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr6.json", "output JSON path (- for stdout)")
+	out := flag.String("out", "BENCH_pr7.json", "output JSON path (- for stdout)")
 	benchtime := flag.String("benchtime", "1s", "target run time per microbenchmark (go-test syntax: a duration, or Nx for a fixed iteration count)")
 	quick := flag.Bool("quick", false, "single-pass smoke mode: one iteration per benchmark, small soak")
 	soakVMs := flag.Int("soak-vms", 48, "fleet VMs per soak wave")
@@ -138,6 +140,8 @@ func main() {
 		{"spawn-churn", benchSpawnChurn},
 		{"dsm-fault", benchDSMFault},
 		{"vcpu-migration", benchVCPUMigration},
+		{"balloon-inflate", benchBalloonInflate},
+		{"wss-update", benchWSSUpdate},
 	} {
 		r := measure(b.name, benchDur, benchIters, b.fn)
 		fmt.Fprintf(os.Stderr, "%-20s %10d iters  %12.1f ns/op %10.1f B/op %8.2f allocs/op\n",
@@ -363,6 +367,31 @@ func benchVCPUMigration(n int) {
 		}
 	})
 	tb.Run()
+}
+
+// benchBalloonInflate mirrors BenchmarkBalloonInflate: one single-batch
+// balloon inflate+deflate round trip (zone lock, PTE update, pfn-array
+// work) per op.
+func benchBalloonInflate(n int) {
+	tb := fragvisor.NewTestbed(2)
+	vm := tb.NewFragVisorVM(2, 4<<30)
+	d := balloon.NewDriver(tb.Env, vm.Kernel, balloon.DefaultCosts())
+	tb.Env.Spawn("balloon", func(p *fragvisor.Proc) {
+		for i := 0; i < n; i++ {
+			took := d.Inflate(p, 0, 0, 256)
+			d.Deflate(p, 0, 0, took)
+		}
+	})
+	tb.Run()
+}
+
+// benchWSSUpdate mirrors BenchmarkWSSUpdate: one working-set estimator
+// observation per op — the cost added to every guest allocation.
+func benchWSSUpdate(n int) {
+	est := balloon.NewEstimator(0.2)
+	for i := 0; i < n; i++ {
+		est.Observe(int64(i % 4096))
+	}
 }
 
 // runFigure times one full figure experiment at quick scale.

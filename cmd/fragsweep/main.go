@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	fragsweep                                    # reclaim-vs-evict policy grid, 8 seeds
+//	fragsweep                                    # three-way reclaim-policy grid, 8 seeds
 //	fragsweep -experiments fleetchurn -seeds 16  # failure-path soak in distribution
 //	fragsweep -experiments fig4 -scales 0.01,0.02 -seeds 4
 //	fragsweep -seeds 8 -parallel 1               # sequential (byte-identical output)
@@ -13,10 +13,11 @@
 //	fragsweep -runs                              # also print every per-run table
 //
 // The output is a pure function of the grid: -parallel changes wall
-// time, never bytes. When the grid covers both fleetsoak (consolidating
-// reclaims) and fleetsoak-evict (the eviction baseline), a
-// policy-comparison table is appended contrasting the two distributions
-// metric by metric. Run "fragsweep -list" for experiment ids.
+// time, never bytes. When the grid covers two or more reclaim-policy
+// soaks — fleetsoak (consolidating reclaims), fleetsoak-evict (the
+// eviction baseline), fleetsoak-resize (the ballooning "reduce"
+// baseline) — a policy-comparison table is appended contrasting the
+// distributions metric by metric. Run "fragsweep -list" for ids.
 package main
 
 import (
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	exps := flag.String("experiments", "fleetsoak,fleetsoak-evict", "comma-separated experiment ids")
+	exps := flag.String("experiments", "fleetsoak,fleetsoak-evict,fleetsoak-resize", "comma-separated experiment ids")
 	scales := flag.String("scales", "0.05", "comma-separated workload scales")
 	nSeeds := flag.Int("seeds", 8, "number of consecutive seeds")
 	seedBase := flag.Int64("seed", 1, "first seed")
@@ -83,8 +84,8 @@ func main() {
 	for i, g := range res.Groups {
 		entries = append(entries, entry{"stats", g.Experiment, g.Scale, nil, res.Tables()[i]})
 	}
-	if cmp := reclaimComparison(res); cmp != nil {
-		entries = append(entries, entry{"comparison", "reclaim-vs-evict", 0, nil, cmp})
+	if cmp := policyComparison(res); cmp != nil {
+		entries = append(entries, entry{"comparison", "reclaim-policies", 0, nil, cmp})
 	}
 
 	if *jsonOut {
@@ -102,59 +103,72 @@ func main() {
 	}
 }
 
-// reclaimComparison contrasts the consolidating control plane with the
-// eviction baseline when the grid covers both, per scale: the paper's
-// reclaim-vs-evict argument in distribution instead of as a single
-// anecdote. Returns nil when the grid lacks either side.
-func reclaimComparison(res *experiments.SweepResult) *metrics.Table {
-	type pair struct{ cons, evic *sweep.Group }
-	byScale := map[float64]*pair{}
+// policySoaks maps fleet-soak experiment ids to reclaim-policy labels,
+// in the comparison table's row order. Adding a fourth policy means one
+// more entry here, not a new table shape.
+var policySoaks = []struct{ experiment, policy string }{
+	{"fleetsoak", "consolidate"},
+	{"fleetsoak-evict", "evict"},
+	{"fleetsoak-resize", "resize"},
+}
+
+// policyComparisonMetrics are the per-policy columns of the comparison.
+var policyComparisonMetrics = []string{
+	"evictions", "reclaims", "inflations", "deflations",
+	"migrations", "handbacks", "admitted", "wait_mean_s", "slowdown_mean",
+}
+
+// policyComparison contrasts every reclaim policy the grid covers, per
+// scale: the paper's reclaim-vs-evict argument — extended with the
+// ballooning "reduce" baseline — in distribution instead of as a single
+// anecdote. One row per (scale, policy); returns nil unless at least two
+// policies share a scale.
+func policyComparison(res *experiments.SweepResult) *metrics.Table {
+	byScale := map[float64]map[string]*sweep.Group{}
 	var scales []float64
+	label := map[string]string{}
+	for _, ps := range policySoaks {
+		label[ps.experiment] = ps.policy
+	}
 	for _, g := range res.Groups {
-		var slot **sweep.Group
-		switch g.Experiment {
-		case "fleetsoak":
-			p := byScale[g.Scale]
-			if p == nil {
-				p = &pair{}
-				byScale[g.Scale] = p
-				scales = append(scales, g.Scale)
-			}
-			slot = &p.cons
-		case "fleetsoak-evict":
-			p := byScale[g.Scale]
-			if p == nil {
-				p = &pair{}
-				byScale[g.Scale] = p
-				scales = append(scales, g.Scale)
-			}
-			slot = &p.evic
-		default:
+		pol, ok := label[g.Experiment]
+		if !ok {
 			continue
 		}
-		*slot = g
+		if byScale[g.Scale] == nil {
+			byScale[g.Scale] = map[string]*sweep.Group{}
+			scales = append(scales, g.Scale)
+		}
+		byScale[g.Scale][pol] = g
 	}
-	t := metrics.NewTable("Reclaim-vs-evict across seeds (mean per run)",
-		"scale", "metric", "consolidate", "evict")
+	headers := append([]string{"scale", "policy"}, policyComparisonMetrics...)
+	t := metrics.NewTable("Reclaim policies across seeds (mean per run)", headers...)
 	rows := 0
 	for _, sc := range scales {
-		p := byScale[sc]
-		if p.cons == nil || p.evic == nil {
+		if len(byScale[sc]) < 2 {
 			continue
 		}
-		for _, m := range []string{"evictions", "reclaims", "migrations", "handbacks", "admitted", "wait_mean_s"} {
-			dc, de := p.cons.Dist(m), p.evic.Dist(m)
-			if dc == nil || de == nil {
+		for _, ps := range policySoaks {
+			g := byScale[sc][ps.policy]
+			if g == nil {
 				continue
 			}
-			t.AddRow(sc, m, dc.Stats().Mean, de.Stats().Mean)
+			cells := []any{sc, ps.policy}
+			for _, m := range policyComparisonMetrics {
+				if d := g.Dist(m); d != nil {
+					cells = append(cells, d.Stats().Mean)
+				} else {
+					cells = append(cells, "-")
+				}
+			}
+			t.AddRow(cells...)
 			rows++
 		}
 	}
 	if rows == 0 {
 		return nil
 	}
-	t.AddNote("the lender gets its capacity back either way; only the evict baseline kills borrowers")
+	t.AddNote("the lender gets its capacity back every way; evict kills borrowers, resize slows them")
 	return t
 }
 

@@ -1,0 +1,38 @@
+package balloon
+
+import "math"
+
+// Estimator tracks a VM's working set as a peak/decay EWMA over the
+// allocated-page totals the guest allocator reports: growth is adopted
+// immediately (an allocation spike IS demand — under-estimating it would
+// let the host balloon a VM into thrashing), while shrink decays with
+// factor alpha per observation, modeling the usual reluctance to trust
+// a transient dip. The estimate is a pure function of the observation
+// sequence, so a fixed-seed run always produces the same working set.
+type Estimator struct {
+	alpha float64
+	ewma  float64
+}
+
+// NewEstimator returns an estimator with the given decay factor in
+// (0, 1]; alpha = 1 tracks the instantaneous allocation exactly.
+func NewEstimator(alpha float64) *Estimator {
+	if alpha <= 0 || alpha > 1 {
+		panic("balloon: estimator alpha must be in (0, 1]")
+	}
+	return &Estimator{alpha: alpha}
+}
+
+// Observe feeds the current allocated total (pages) into the estimate.
+func (e *Estimator) Observe(allocated int64) {
+	x := float64(allocated)
+	if x >= e.ewma {
+		e.ewma = x
+		return
+	}
+	e.ewma += e.alpha * (x - e.ewma)
+}
+
+// Pages returns the current working-set estimate, rounded up: a VM
+// resized to exactly Pages() is not considered degraded.
+func (e *Estimator) Pages() int64 { return int64(math.Ceil(e.ewma)) }

@@ -1,0 +1,133 @@
+// Package balloon models memory ballooning and dynamic resize — the
+// "reduce" arm of the paper's reduce/evict/borrow trichotomy.
+//
+// Ballooning is the canonical mechanism for reclaiming memory from a
+// running VM without migrating or killing it: a driver inside the guest
+// pins free pages and hands them back to the host (inflation), and
+// returns them when the host frees capacity up (deflation). The package
+// has three parts:
+//
+//   - Ledger: host-side conservation accounting, units-agnostic. Every
+//     VM's resident + ballooned capacity always equals its provisioned
+//     capacity, bit-exactly.
+//   - Estimator: a peak/decay EWMA working-set estimator fed by the
+//     guest allocator's telemetry stream.
+//   - Driver: the per-VM balloon device. Inflation and deflation are
+//     guest-visible operations against internal/guest's node heaps,
+//     charged the same zone-lock + page-table-update costs an
+//     allocation pays; a VM ballooned below its working set pays a
+//     simulated reclaim/swap stall on every further allocation, so
+//     "reduce" has a measurable slowdown instead of being free.
+//
+// internal/fleet builds its ReclaimResize policy on the Ledger; the
+// reduce experiment drives a Driver against a live FragVisor guest.
+package balloon
+
+import "fmt"
+
+// Ledger is the host's balloon book-keeping for a set of VMs. Units are
+// abstract — the fleet counts vCPU-quanta (memory follows at the VM's
+// bytes-per-vCPU ratio), the reduce experiment counts pages. The ledger
+// enforces conservation: 0 <= ballooned <= provisioned at all times, and
+// resident (provisioned - ballooned) is what the VM actually holds.
+type Ledger struct {
+	provisioned map[int]int64
+	ballooned   map[int]int64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		provisioned: make(map[int]int64),
+		ballooned:   make(map[int]int64),
+	}
+}
+
+// Provision registers units of capacity for vm (adding to any existing
+// grant). Provisioned capacity is the VM's nominal size; ballooning
+// never changes it.
+func (l *Ledger) Provision(vm int, units int64) {
+	if units < 0 {
+		panic(fmt.Sprintf("balloon: negative provision of %d for vm %d", units, vm))
+	}
+	l.provisioned[vm] += units
+}
+
+// Remove drops vm from the ledger and returns its final (provisioned,
+// ballooned) balances so the caller can settle capacity books: the VM
+// frees only its resident share — ballooned units are already back at
+// the host.
+func (l *Ledger) Remove(vm int) (provisioned, ballooned int64) {
+	provisioned = l.provisioned[vm]
+	ballooned = l.ballooned[vm]
+	delete(l.provisioned, vm)
+	delete(l.ballooned, vm)
+	return provisioned, ballooned
+}
+
+// Inflate pins units of vm's capacity into the balloon. Inflating past
+// the VM's resident share is a conservation violation and panics.
+func (l *Ledger) Inflate(vm int, units int64) {
+	if units < 0 {
+		panic(fmt.Sprintf("balloon: negative inflate of %d for vm %d", units, vm))
+	}
+	if l.ballooned[vm]+units > l.provisioned[vm] {
+		panic(fmt.Sprintf("balloon: inflating vm %d by %d exceeds provisioned %d (ballooned %d)",
+			vm, units, l.provisioned[vm], l.ballooned[vm]))
+	}
+	l.ballooned[vm] += units
+}
+
+// Deflate returns units from vm's balloon to the VM. Deflating more
+// than is pinned panics.
+func (l *Ledger) Deflate(vm int, units int64) {
+	if units < 0 {
+		panic(fmt.Sprintf("balloon: negative deflate of %d for vm %d", units, vm))
+	}
+	if units > l.ballooned[vm] {
+		panic(fmt.Sprintf("balloon: deflating vm %d by %d exceeds ballooned %d",
+			vm, units, l.ballooned[vm]))
+	}
+	l.ballooned[vm] -= units
+}
+
+// Provisioned returns vm's nominal capacity.
+func (l *Ledger) Provisioned(vm int) int64 { return l.provisioned[vm] }
+
+// Ballooned returns vm's currently pinned capacity.
+func (l *Ledger) Ballooned(vm int) int64 { return l.ballooned[vm] }
+
+// Resident returns the capacity vm actually holds right now.
+func (l *Ledger) Resident(vm int) int64 { return l.provisioned[vm] - l.ballooned[vm] }
+
+// Has reports whether vm is provisioned in the ledger.
+func (l *Ledger) Has(vm int) bool {
+	_, ok := l.provisioned[vm]
+	return ok
+}
+
+// TotalBallooned sums pinned capacity across all VMs.
+func (l *Ledger) TotalBallooned() int64 {
+	var total int64
+	for _, b := range l.ballooned {
+		total += b
+	}
+	return total
+}
+
+// Verify checks the conservation invariant for every VM: ballooned in
+// [0, provisioned] and no balloon entry without a provisioned VM.
+func (l *Ledger) Verify() error {
+	for vm, b := range l.ballooned {
+		if _, ok := l.provisioned[vm]; !ok && b != 0 {
+			return fmt.Errorf("balloon: vm %d has %d ballooned units but no provision", vm, b)
+		}
+		if b < 0 {
+			return fmt.Errorf("balloon: vm %d has negative ballooned %d", vm, b)
+		}
+		if b > l.provisioned[vm] {
+			return fmt.Errorf("balloon: vm %d ballooned %d exceeds provisioned %d", vm, b, l.provisioned[vm])
+		}
+	}
+	return nil
+}

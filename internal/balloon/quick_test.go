@@ -1,0 +1,137 @@
+package balloon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickLedgerRoundTripConserves: any interleaving of inflates and
+// deflates conserves units bit-exactly — resident + ballooned equals
+// provisioned after every step, and a full deflate restores the VM.
+func TestQuickLedgerRoundTripConserves(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewLedger()
+		const nVM = 4
+		for vm := 0; vm < nVM; vm++ {
+			l.Provision(vm, 1+rng.Int63n(1<<16))
+		}
+		for i := 0; i < int(steps); i++ {
+			vm := rng.Intn(nVM)
+			if rng.Intn(2) == 0 {
+				if room := l.Resident(vm); room > 0 {
+					l.Inflate(vm, rng.Int63n(room+1))
+				}
+			} else {
+				if b := l.Ballooned(vm); b > 0 {
+					l.Deflate(vm, rng.Int63n(b+1))
+				}
+			}
+			for v := 0; v < nVM; v++ {
+				if l.Resident(v)+l.Ballooned(v) != l.Provisioned(v) {
+					return false
+				}
+			}
+			if l.Verify() != nil {
+				return false
+			}
+		}
+		for vm := 0; vm < nVM; vm++ {
+			l.Deflate(vm, l.Ballooned(vm))
+			if l.Ballooned(vm) != 0 || l.Resident(vm) != l.Provisioned(vm) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeflateOrderInvariant: deflating a balloon in any order of
+// per-VM chunks lands every VM on the same final balance.
+func TestQuickDeflateOrderInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nVM = 5
+		prov := make([]int64, nVM)
+		ball := make([]int64, nVM)
+		for vm := range prov {
+			prov[vm] = 1 + rng.Int63n(1<<12)
+			ball[vm] = rng.Int63n(prov[vm] + 1)
+		}
+		// Split each VM's balloon into random-size chunks, then deflate
+		// them in two different orders.
+		type chunk struct {
+			vm int
+			n  int64
+		}
+		var chunks []chunk
+		for vm, b := range ball {
+			rest := b
+			for rest > 0 {
+				n := 1 + rng.Int63n(rest)
+				chunks = append(chunks, chunk{vm, n})
+				rest -= n
+			}
+		}
+		build := func(order []int) *Ledger {
+			l := NewLedger()
+			for vm := range prov {
+				l.Provision(vm, prov[vm])
+				l.Inflate(vm, ball[vm])
+			}
+			for _, i := range order {
+				l.Deflate(chunks[i].vm, chunks[i].n)
+			}
+			return l
+		}
+		fwd := make([]int, len(chunks))
+		for i := range fwd {
+			fwd[i] = i
+		}
+		shuf := append([]int(nil), fwd...)
+		rng.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		a, b := build(fwd), build(shuf)
+		for vm := range prov {
+			if a.Ballooned(vm) != b.Ballooned(vm) || a.Resident(vm) != b.Resident(vm) {
+				return false
+			}
+		}
+		return a.TotalBallooned() == 0 && b.TotalBallooned() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEstimatorDeterministic: the working-set estimate is a pure
+// function of the observation sequence — two estimators fed the same
+// seeded stream agree bit-exactly at every step.
+func TestQuickEstimatorDeterministic(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		gen := func() []int64 {
+			rng := rand.New(rand.NewSource(seed))
+			out := make([]int64, int(n)+1)
+			for i := range out {
+				out[i] = rng.Int63n(1 << 20)
+			}
+			return out
+		}
+		a, b := NewEstimator(0.2), NewEstimator(0.2)
+		sa, sb := gen(), gen()
+		for i := range sa {
+			a.Observe(sa[i])
+			b.Observe(sb[i])
+			if a.Pages() != b.Pages() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -205,3 +205,63 @@ func TestFig14Shape(t *testing.T) {
 		t.Errorf("no request latencies recorded: %s", notes)
 	}
 }
+
+// rowByName returns the first row whose label column matches name.
+func rowByName(t *testing.T, rows [][]string, name string) []string {
+	t.Helper()
+	for _, row := range rows {
+		if row[0] == name {
+			return row
+		}
+	}
+	t.Fatalf("no row %q in %v", name, rows)
+	return nil
+}
+
+// TestReduceShape: the reduce baseline's acceptance shape — squeezing a
+// VM above its working set is ~free, squeezing below it degrades.
+func TestReduceShape(t *testing.T) {
+	tab, err := Run("reduce", QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// columns: config, wall_ms, slowdown, stalls, stall_ms, wss_pages, ballooned_pages
+	above := rowByName(t, tab.Rows, "ballooned-above-ws")
+	below := rowByName(t, tab.Rows, "ballooned-below-ws")
+	if s := cell(t, above, 2); s > 1.05 {
+		t.Errorf("above-ws slowdown = %.3f, want ~1.0", s)
+	}
+	if st := cell(t, above, 3); st != 0 {
+		t.Errorf("above-ws stalls = %v, want 0", st)
+	}
+	if b := cell(t, above, 6); b == 0 {
+		t.Error("above-ws run never ballooned")
+	}
+	if s := cell(t, below, 2); s <= 1.2 {
+		t.Errorf("below-ws slowdown = %.3f, want measurable degradation", s)
+	}
+	if st := cell(t, below, 3); st == 0 {
+		t.Error("below-ws run never stalled")
+	}
+}
+
+// TestFleetSoakResizeShape: the resize soak admits work without
+// evictions and reports balloon activity plus a mean slowdown >= 1.
+func TestFleetSoakResizeShape(t *testing.T) {
+	tab, err := Run("fleetsoak-resize", QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat := func(name string) float64 {
+		return cell(t, rowByName(t, tab.Rows, name), 1)
+	}
+	if ev := stat("evictions"); ev != 0 {
+		t.Errorf("resize soak evicted %v VMs, want 0", ev)
+	}
+	if stat("admitted") == 0 {
+		t.Error("resize soak admitted nothing")
+	}
+	if s := stat("slowdown_mean"); s < 1.0 {
+		t.Errorf("slowdown_mean = %.3f, want >= 1.0", s)
+	}
+}

@@ -19,6 +19,9 @@ func init() {
 	register("fleetsoak-evict", func(o Options) *metrics.Table {
 		return fleetSoak(o, fleet.ReclaimEvict, false)
 	})
+	register("fleetsoak-resize", func(o Options) *metrics.Table {
+		return fleetSoak(o, fleet.ReclaimResize, false)
+	})
 	register("fleetchurn", func(o Options) *metrics.Table {
 		return fleetSoak(o, fleet.ReclaimConsolidate, true)
 	})
@@ -44,7 +47,8 @@ func fleetSoak(o Options, pol fleet.ReclaimPolicy, churn bool) *metrics.Table {
 		horizon = 240 * sim.Second
 	)
 	kind := map[fleet.ReclaimPolicy]string{
-		fleet.ReclaimConsolidate: "fleetsoak", fleet.ReclaimEvict: "fleetsoak-evict"}[pol]
+		fleet.ReclaimConsolidate: "fleetsoak", fleet.ReclaimEvict: "fleetsoak-evict",
+		fleet.ReclaimResize: "fleetsoak-resize"}[pol]
 	if churn {
 		kind = "fleetchurn"
 	}
@@ -133,6 +137,10 @@ func fleetSoak(o Options, pol fleet.ReclaimPolicy, churn bool) *metrics.Table {
 	t.AddRow("node_ups", float64(nodeUps))
 	t.AddRow("restarts", float64(st.Restarts))
 	t.AddRow("requeues", float64(st.Requeues))
+	t.AddRow("inflations", float64(st.Inflations))
+	t.AddRow("deflations", float64(st.Deflations))
+	t.AddRow("ballooned_cpu_sec", float64(st.BalloonedTime)/float64(sim.Second))
+	t.AddRow("slowdown_mean", st.MeanSlowdown())
 	t.AddRow("wait_mean_s", ws.Mean.Seconds())
 	t.AddRow("wait_p95_s", ws.P95.Seconds())
 	t.AddRow("final_util", snap.Utilization)

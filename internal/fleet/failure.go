@@ -66,6 +66,9 @@ func (f *Fleet) handleNodeDown(node int) {
 		pl := f.placements[id]
 		lost := pl[node]
 		mpc := f.reqs[id].memPerCPU()
+		// Bring work accrual current before the placement changes: the
+		// vCPUs lost with the node ran at full membership until now.
+		f.accrueWork(id)
 		// The fragment is gone with the node; keep the dead node's books
 		// whole so capacity is intact when it heals.
 		delete(pl, node)
@@ -121,11 +124,19 @@ func (f *Fleet) replaceLost(vmID, deadNode, k int) (sched.Placement, bool) {
 }
 
 // requeue sends a VM that lost its node back to the admission queue with
-// whatever duration it had left.
+// whatever duration it had left. Under resize the remainder comes from
+// the exact work accounting (a ballooned VM got less done per second);
+// otherwise the armed deadline is the remainder.
 func (f *Fleet) requeue(vmID int) {
 	r := f.reqs[vmID]
 	hadDeadline := false
-	if end, ok := f.endAt[vmID]; ok {
+	if need, ok := f.workNeeded[vmID]; ok && f.cfg.Reclaim == ReclaimResize {
+		f.accrueWork(vmID)
+		rem := need - f.workDone[vmID]
+		prov := int64(r.VCPUs)
+		r.Duration = sim.Time((rem + prov - 1) / prov)
+		hadDeadline = true
+	} else if end, ok := f.endAt[vmID]; ok {
 		r.Duration = end - f.env.Now()
 		hadDeadline = true
 	}

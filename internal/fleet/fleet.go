@@ -39,6 +39,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/balloon"
 	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/sched"
@@ -81,6 +82,12 @@ const (
 	// ReclaimEvict kills the borrower — the baseline cluster managers
 	// implement today.
 	ReclaimEvict
+	// ReclaimResize balloons the borrower down: the leased fragment is
+	// surrendered back to the lender and the VM keeps running on less
+	// than it was provisioned, at proportionally reduced speed, until
+	// free capacity lets the fleet re-inflate it. The paper's "reduce"
+	// baseline (see internal/balloon).
+	ReclaimResize
 )
 
 // String names the policy.
@@ -90,9 +97,16 @@ func (r ReclaimPolicy) String() string {
 		return "consolidate"
 	case ReclaimEvict:
 		return "evict"
+	case ReclaimResize:
+		return "resize"
 	default:
 		return fmt.Sprintf("reclaim(%d)", int(r))
 	}
+}
+
+// Policies lists every reclaim policy in comparison-table order.
+func Policies() []ReclaimPolicy {
+	return []ReclaimPolicy{ReclaimConsolidate, ReclaimEvict, ReclaimResize}
 }
 
 // Request is one VM arrival: a gang of vCPUs plus guest memory that must
@@ -119,7 +133,7 @@ func (r Request) memPerCPU() int64 {
 // Event is one control-plane decision, for timelines and tests.
 type Event struct {
 	T     sim.Time
-	Kind  string // admit|gang|queue|dequeue|lease|release|reclaim|reclaim-done|reclaim-defer|evict|migrate|rebalance|handback|node-down|node-up|restart|requeue|finish
+	Kind  string // admit|gang|queue|dequeue|lease|release|reclaim|reclaim-done|reclaim-defer|evict|migrate|rebalance|handback|node-down|node-up|restart|requeue|finish|inflate|deflate
 	VM    int    // -1 when not about a VM
 	From  int    // source node (-1 if n/a)
 	To    int    // destination/subject node (-1 if n/a)
@@ -183,6 +197,25 @@ type Stats struct {
 
 	NodeFailures int // node-down transitions observed
 	Restarts     int // lost fragments re-placed on survivors
+
+	Inflations    int      // resize: balloon inflations (fragments surrendered)
+	Deflations    int      // resize: balloon deflations (capacity re-granted)
+	InflatedVCPUs int      // resize: vCPUs surrendered to the balloon
+	DeflatedVCPUs int      // resize: vCPUs re-granted from the balloon
+	BalloonedTime sim.Time // vCPU-time spent running below provisioned size
+
+	TimedFinishes int     // departures of VMs with a Duration
+	SlowdownSum   float64 // sum over timed finishes of elapsed/Duration
+}
+
+// MeanSlowdown is the mean elapsed/Duration ratio over every timed VM
+// that ran to completion: exactly 1.0 when nothing was ever resized,
+// > 1.0 when ballooned VMs had to stretch their work out.
+func (s Stats) MeanSlowdown() float64 {
+	if s.TimedFinishes == 0 {
+		return 0
+	}
+	return s.SlowdownSum / float64(s.TimedFinishes)
 }
 
 // liveMove is deferred data-plane work: a vCPU migration the accounting
@@ -207,6 +240,18 @@ type Fleet struct {
 	endAt      map[int]sim.Time
 	timers     map[int]*sim.Timer
 	queuedAt   map[int]sim.Time
+
+	// Balloon accounting (ReclaimResize). The ledger counts vCPU
+	// quanta — memory follows at each request's memPerCPU — so balloon
+	// conservation is CPU conservation. Work accounting turns resize
+	// into slowdown: a VM with resident r of p provisioned vCPUs
+	// progresses at rate r/p, and its departure timer is re-armed from
+	// the exact integer work remaining whenever r changes.
+	ballooned  *balloon.Ledger
+	startAt    map[int]sim.Time // admission commit time, for slowdown
+	workNeeded map[int]int64    // Duration x provisioned vCPUs (work units)
+	workDone   map[int]int64    // accrued elapsed x resident vCPUs
+	lastAccrue map[int]sim.Time // when workDone was last brought current
 
 	leases    []*Lease
 	nextLease int
@@ -250,6 +295,11 @@ func New(env *sim.Env, cfg Config) *Fleet {
 		endAt:      map[int]sim.Time{},
 		timers:     map[int]*sim.Timer{},
 		queuedAt:   map[int]sim.Time{},
+		ballooned:  balloon.NewLedger(),
+		startAt:    map[int]sim.Time{},
+		workNeeded: map[int]int64{},
+		workDone:   map[int]int64{},
+		lastAccrue: map[int]sim.Time{},
 		bound:      map[int]*binding{},
 	}
 	for i := range f.freeCPU {
@@ -358,7 +408,11 @@ func (f *Fleet) log(kind string, vm, from, to, n, lease int) {
 		if node < 0 {
 			node = 0
 		}
-		f.tr.Instant(0, trace.CatFleet, node, f.tr.Key("fleet", kind))
+		cat := trace.CatFleet
+		if kind == "inflate" || kind == "deflate" {
+			cat = trace.CatBalloon
+		}
+		f.tr.Instant(0, cat, node, f.tr.Key("fleet", kind))
 	}
 }
 
@@ -490,7 +544,12 @@ func (f *Fleet) commit(r Request, pl sched.Placement, kind string) {
 		f.stats.Gangs++
 		f.log(kind, r.ID, -1, -1, r.VCPUs, -1)
 	}
+	f.ballooned.Provision(r.ID, int64(r.VCPUs))
+	f.startAt[r.ID] = f.env.Now()
+	f.lastAccrue[r.ID] = f.env.Now()
 	if r.Duration > 0 {
+		f.workNeeded[r.ID] = int64(r.Duration) * int64(r.VCPUs)
+		f.workDone[r.ID] = 0
 		f.endAt[r.ID] = f.env.Now() + r.Duration
 		f.timers[r.ID] = f.env.After(r.Duration, func() { f.depart(r.ID) })
 	}
@@ -498,10 +557,25 @@ func (f *Fleet) commit(r Request, pl sched.Placement, kind string) {
 }
 
 func (f *Fleet) depart(vmID int) {
+	f.finishStats(vmID)
 	f.release(vmID)
 	f.log("finish", vmID, -1, -1, 0, -1)
 	f.maintain()
 	f.verify()
+}
+
+// finishStats records a timed VM's completion slowdown: elapsed wall
+// time over its full-speed Duration. Consolidate and evict never slow a
+// running VM down, so their departures contribute exactly 1.0; resized
+// VMs stretch their work out and contribute > 1.0.
+func (f *Fleet) finishStats(vmID int) {
+	r, ok := f.reqs[vmID]
+	if !ok || r.Duration <= 0 {
+		return
+	}
+	f.accrueWork(vmID)
+	f.stats.TimedFinishes++
+	f.stats.SlowdownSum += float64(f.env.Now()-f.startAt[vmID]) / float64(r.Duration)
 }
 
 // release frees every resource a VM holds and drops its leases.
@@ -521,6 +595,11 @@ func (f *Fleet) release(vmID int) {
 	delete(f.reqs, vmID)
 	delete(f.home, vmID)
 	delete(f.endAt, vmID)
+	f.ballooned.Remove(vmID)
+	delete(f.startAt, vmID)
+	delete(f.workNeeded, vmID)
+	delete(f.workDone, vmID)
+	delete(f.lastAccrue, vmID)
 	if tm, ok := f.timers[vmID]; ok {
 		tm.Cancel()
 		delete(f.timers, vmID)
@@ -533,10 +612,15 @@ func (f *Fleet) release(vmID int) {
 }
 
 // maintain is the control loop run after every capacity change: admit
-// waiting requests, retry deferred reclaims, then consolidate.
+// waiting requests, retry deferred reclaims, re-inflate ballooned VMs
+// into whatever capacity is left, then consolidate. Admission beats
+// deflation on purpose — new VMs get first claim on freed capacity.
+// Deflation deliberately does NOT run inside Reclaim, so a lender's
+// just-reclaimed capacity is never instantly re-borrowed.
 func (f *Fleet) maintain() {
 	f.drainQueue()
 	work := f.retryReclaims()
+	f.deflateAll()
 	work = append(work, f.consolidateAll()...)
 	f.runLive(work)
 }
@@ -645,6 +729,7 @@ func (f *Fleet) armRebalance() {
 		}
 		f.runLive(work)
 		f.drainQueue()
+		f.deflateAll()
 		f.verify()
 		f.rbTimer = f.reschedule(f.cfg.RebalanceEvery, tick)
 	}
@@ -717,6 +802,22 @@ func (f *Fleet) verify() {
 		if f.freeMem[n] < 0 || f.freeMem[n]+usedMem[n] != f.cfg.MemPerNode {
 			panic(fmt.Sprintf("fleet: node %d memory books broken: free %d + used %d != %d",
 				n, f.freeMem[n], usedMem[n], f.cfg.MemPerNode))
+		}
+	}
+	// Balloon conservation: every VM's resident vCPUs plus its
+	// ballooned vCPUs equal its provisioned size, bit-exactly. (The
+	// node free pools were already shown non-negative above.)
+	if err := f.ballooned.Verify(); err != nil {
+		panic(fmt.Sprintf("fleet: %v", err))
+	}
+	for _, id := range ids {
+		var resident int64
+		for _, n := range placementNodes(f.placements[id]) {
+			resident += int64(f.placements[id][n])
+		}
+		if resident+f.ballooned.Ballooned(id) != int64(f.reqs[id].VCPUs) {
+			panic(fmt.Sprintf("fleet: VM %d balloon books broken: resident %d + ballooned %d != provisioned %d",
+				id, resident, f.ballooned.Ballooned(id), f.reqs[id].VCPUs))
 		}
 	}
 	// Lease ledger: exactly one active lease per non-home fragment,

@@ -147,9 +147,22 @@ func (f *Fleet) Reclaim(node int) {
 	f.log("reclaim", -1, -1, node, 0, -1)
 	var work []liveMove
 	for _, l := range f.activeLeasesOn(node) {
-		switch f.cfg.Reclaim {
+		pol := f.cfg.Reclaim
+		if pol == ReclaimResize && f.bound[l.VM] != nil {
+			// A live Aggregate VM cannot shrink its vCPU set in place;
+			// fall back to consolidation for bound borrowers.
+			pol = ReclaimConsolidate
+		}
+		switch pol {
 		case ReclaimEvict:
 			f.evictVM(l.VM)
+		case ReclaimResize:
+			if l.Reclaimed == 0 {
+				l.Reclaimed = f.env.Now()
+			}
+			f.balloonLease(l)
+			f.stats.Reclaims++
+			f.log("reclaim-done", l.VM, node, -1, 0, l.ID)
 		case ReclaimConsolidate:
 			if l.Reclaimed == 0 {
 				l.Reclaimed = f.env.Now()
@@ -263,6 +276,22 @@ func (f *Fleet) reclaimFor(r Request) bool {
 			f.commit(r, sched.Placement{n: r.VCPUs}, "admit")
 			return true
 		}
+		if f.cfg.Reclaim == ReclaimResize {
+			if f.anyBound(n) {
+				continue // bound borrowers cannot be resized in place
+			}
+			f.log("reclaim", r.ID, -1, n, r.VCPUs, -1)
+			for _, l := range f.activeLeasesOn(n) {
+				f.balloonLease(l)
+				f.stats.Reclaims++
+				f.log("reclaim-done", l.VM, n, -1, 0, l.ID)
+			}
+			if f.freeCPU[n] < r.VCPUs || f.freeMem[n] < int64(r.VCPUs)*mpc {
+				continue // ballooning freed less than the lease books said
+			}
+			f.commit(r, sched.Placement{n: r.VCPUs}, "admit")
+			return true
+		}
 		work, ok := f.relocateAllFrom(n)
 		if !ok {
 			continue
@@ -275,6 +304,17 @@ func (f *Fleet) reclaimFor(r Request) bool {
 		f.commit(r, sched.Placement{n: r.VCPUs}, "admit")
 		f.runLive(work.moves)
 		return true
+	}
+	return false
+}
+
+// anyBound reports whether any borrower on the node is bound to a live
+// Aggregate VM.
+func (f *Fleet) anyBound(node int) bool {
+	for _, l := range f.activeLeasesOn(node) {
+		if f.bound[l.VM] != nil {
+			return true
+		}
 	}
 	return false
 }

@@ -29,6 +29,7 @@ func TestQuickFleetInvariants(t *testing.T) {
 			f := New(env, Config{
 				Nodes: nodes, CPUsPerNode: 8, MemPerNode: 32 * gig,
 				Policy: pol, AutoReclaim: true,
+				Reclaim:        ReclaimPolicy(rr % 3), // rotate consolidate/evict/resize
 				RebalanceEvery: 4 * sim.Second, Horizon: 90 * sim.Second,
 			})
 			rng := rand.New(rand.NewSource(seed))

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// TestReclaimResizeBalloonsBorrower is the three-way acceptance scenario:
+// the same arrival trace and owner-driven reclaim as
+// TestReclaimConsolidatesNotEvicts, under ReclaimResize. The borrower
+// survives with zero evictions — but by shrinking, not migrating — and
+// pays for it in measurable slowdown, while the consolidate run finishes
+// every timed VM at slowdown exactly 1.0.
+func TestReclaimResizeBalloonsBorrower(t *testing.T) {
+	run := func(pol ReclaimPolicy) *Fleet {
+		env := sim.NewEnv()
+		f := New(env, Config{
+			Nodes: 3, CPUsPerNode: 8, MemPerNode: 32 * gig,
+			Policy: sched.MinFrag, Reclaim: pol,
+		})
+		f.Submit(reclaimTrace())
+		env.At(10*sim.Second, func() { f.Reclaim(1) })
+		env.Run() // to completion: slowdown needs the departures
+		f.Verify()
+		return f
+	}
+
+	rez := run(ReclaimResize)
+	st := rez.Stats()
+	if st.Evictions != 0 {
+		t.Fatalf("resize: evictions = %d, want 0", st.Evictions)
+	}
+	if st.Inflations == 0 || st.InflatedVCPUs == 0 {
+		t.Fatalf("resize: reclaim did not balloon the borrower: %+v", st)
+	}
+	if st.Reclaims != 1 {
+		t.Fatalf("resize: reclaims = %d, want 1 (ballooning never defers)", st.Reclaims)
+	}
+	if st.ReclaimsDeferred != 0 {
+		t.Fatalf("resize: deferred reclaims = %d, want 0", st.ReclaimsDeferred)
+	}
+	if st.BalloonedTime == 0 {
+		t.Fatal("resize: no ballooned vCPU-time accrued")
+	}
+	// The balloon deflated once the long-running VMs departed, and the
+	// borrower finished whole.
+	if st.Deflations == 0 || st.DeflatedVCPUs != st.InflatedVCPUs {
+		t.Fatalf("resize: balloon not fully returned: %+v", st)
+	}
+	if got := st.MeanSlowdown(); got <= 1.0 {
+		t.Fatalf("resize: mean slowdown = %v, want > 1.0", got)
+	}
+
+	// Same trace under consolidate: nothing ever slows down.
+	cons := run(ReclaimConsolidate)
+	if got := cons.Stats().MeanSlowdown(); got != 1.0 {
+		t.Fatalf("consolidate: mean slowdown = %v, want exactly 1.0", got)
+	}
+	if cons.Stats().BalloonedTime != 0 || cons.Stats().Inflations != 0 {
+		t.Fatalf("consolidate: balloon stats must stay zero: %+v", cons.Stats())
+	}
+
+	// Both policies finish the same set of timed VMs — resize just
+	// finishes them later.
+	if rez.Stats().TimedFinishes != cons.Stats().TimedFinishes {
+		t.Fatalf("timed finishes differ: resize %d vs consolidate %d",
+			rez.Stats().TimedFinishes, cons.Stats().TimedFinishes)
+	}
+}
+
+// TestResizeWorkConservation pins the work-rate model's arithmetic: a VM
+// ballooned from 4 to 2 resident vCPUs for a stretch must finish exactly
+// when its integer work account reaches Duration x 4, no drift.
+func TestResizeWorkConservation(t *testing.T) {
+	env := sim.NewEnv()
+	f := New(env, Config{
+		Nodes: 2, CPUsPerNode: 6, MemPerNode: 8 * gig,
+		Policy: sched.MinFrag, Reclaim: ReclaimResize,
+	})
+	// VMs 2 and 3 take 4 of 6 CPUs on each node, so VM 1 (4 vCPUs) can
+	// only gang-place 2+2 with home node 0 and a lease on node 1.
+	f.Submit([]Request{
+		{ID: 2, VCPUs: 4, MemBytes: gig, Arrival: 0, Duration: 100 * sim.Second},
+		{ID: 3, VCPUs: 4, MemBytes: gig, Arrival: 0, Duration: 100 * sim.Second},
+		{ID: 1, VCPUs: 4, MemBytes: gig, Arrival: 1, Duration: 20 * sim.Second},
+	})
+	env.At(10*sim.Second, func() { f.Reclaim(1) })
+	env.Run()
+	var finish sim.Time
+	for _, e := range f.Events() {
+		if e.Kind == "finish" && e.VM == 1 {
+			finish = e.T
+		}
+	}
+	// Committed at t=1ns with 20s of work on 4 vCPUs = 80 vCPU-seconds.
+	// Until t=10s it runs whole: ~40 gone. Ballooned to 2 resident at
+	// 10s, and nothing frees capacity before it finishes, so the last
+	// ~40 vCPU-seconds take ~20s more: finish at 10s + ceil(rem/2).
+	startAt := sim.Time(1)
+	preWork := int64(10*sim.Second-startAt) * 4
+	rem := int64(20*sim.Second)*4 - preWork
+	want := 10*sim.Second + sim.Time((rem+1)/2)
+	if finish != want {
+		t.Fatalf("finish at %v, want exactly %v", finish, want)
+	}
+	f.Verify()
+}
+
+// TestResizeEventLogDeterminism: the resize policy under a randomized
+// burst with seeded reclaims replays bit-identically — same seed, same
+// event log.
+func TestResizeEventLogDeterminism(t *testing.T) {
+	run := func(seed int64) []Event {
+		env := sim.NewEnv()
+		f := New(env, Config{
+			Nodes: 4, CPUsPerNode: 8, MemPerNode: 32 * gig,
+			Policy: sched.MinFrag, Reclaim: ReclaimResize, AutoReclaim: true,
+			RebalanceEvery: 5 * sim.Second, Horizon: 90 * sim.Second,
+		})
+		rng := rand.New(rand.NewSource(seed))
+		f.Submit(GenerateBurst(rng, 40, 40*sim.Second, 2*gig))
+		for i := 0; i < 4; i++ {
+			at := sim.Time(1+rng.Intn(60)) * sim.Second
+			node := rng.Intn(4)
+			env.At(at, func() { f.Reclaim(node) })
+		}
+		env.RunUntil(90 * sim.Second)
+		f.Verify()
+		return f.Events()
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		a, b := run(seed), run(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: resize event logs differ (%d vs %d events)", seed, len(a), len(b))
+		}
+	}
+}

@@ -22,6 +22,7 @@ package guest
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/dsm"
 	"repro/internal/mem"
@@ -93,18 +94,53 @@ type Kernel struct {
 	pgTables  mem.Region   // page-table pages (contextual)
 	pgd       mem.PageID   // shared top-level mm state touched by every
 	// mapping change (the TLB-shootdown path contextual DSM piggybacks)
-	heap     mem.Region // anonymous memory pool
-	heapNext int64      // bump pointer, in pages
-	perNode  map[int]*nodeHeap
+	heap          mem.Region // anonymous memory pool
+	heapNext      int64      // bump pointer, in pages
+	heapBallooned int64      // balloon-pinned pages of the unified heap
+	perNode       map[int]*nodeHeap
+
+	obs MemObserver // allocator telemetry sink (nil = none)
 
 	sockets int // socket name counter
 }
 
-// nodeHeap is a per-node allocation arena used when NUMA aware.
-type nodeHeap struct {
-	region mem.Region
-	next   int64
+// MemObserver receives the guest allocator's telemetry stream: one call
+// per successful anonymous allocation or unmap, on the allocating process.
+// The balloon driver's working-set estimator and degradation model hang
+// off this hook; an observer may charge extra simulated time to p (e.g.
+// reclaim/swap stalls when the guest is ballooned below its working set).
+type MemObserver interface {
+	AllocPages(p *sim.Proc, node int, pages int64)
+	FreePages(p *sim.Proc, node int, pages int64)
 }
+
+// BalloonBacker is an optional MemObserver extension: when an allocation
+// finds no free pages, the kernel gives the balloon driver one chance to
+// reclaim before declaring OOM (virtio-balloon's deflate-on-oom path).
+// The driver deflates enough pinned pages to satisfy the request and
+// returns the simulated reclaim/swap stall plus whether the allocator
+// should retry. The driver must NOT sleep: the kernel charges the stall
+// after re-carving, so a concurrent vCPU cannot steal the surrendered
+// pages between deflate and retry.
+type BalloonBacker interface {
+	ReclaimPages(p *sim.Proc, node int, pages int64) (sim.Time, bool)
+}
+
+// SetMemObserver installs the allocator telemetry sink (nil disables).
+func (k *Kernel) SetMemObserver(o MemObserver) { k.obs = o }
+
+// nodeHeap is a per-node allocation arena used when NUMA aware.
+// ballooned pages are pinned by the host's balloon driver and cannot be
+// carved until returned.
+type nodeHeap struct {
+	region    mem.Region
+	next      int64
+	ballooned int64
+}
+
+// free reports the arena's carvable pages: capacity minus both the bump
+// pointer and the balloon's pin.
+func (h *nodeHeap) free() int64 { return h.region.Pages - h.next - h.ballooned }
 
 // New builds the guest kernel for a VM with the given vCPU count and
 // memory size. The heap size bounds total allocatable anonymous memory.
@@ -236,9 +272,23 @@ func (k *Kernel) Alloc(p *sim.Proc, node, vcpu int, bytes int64) (mem.Region, er
 	// otherwise. The DSM extent table prices each case.
 	r, err := k.carve(node, pages)
 	if err != nil {
-		return mem.Region{}, err
+		// Deflate-on-oom: before declaring OOM, let a balloon driver
+		// reclaim pinned pages (paying its simulated reclaim cost) and
+		// retry the carve once.
+		if bb, ok := k.obs.(BalloonBacker); ok {
+			if stall, retry := bb.ReclaimPages(p, node, pages); retry {
+				r, err = k.carve(node, pages)
+				p.Sleep(stall)
+			}
+		}
+		if err != nil {
+			return mem.Region{}, err
+		}
 	}
 	k.dsm.TouchRange(p, node, r.Start, r.Pages, true)
+	if k.obs != nil {
+		k.obs.AllocPages(p, node, r.Pages)
+	}
 	return r, nil
 }
 
@@ -253,12 +303,12 @@ func (k *Kernel) carve(node int, pages int64) (mem.Region, error) {
 		if !ok {
 			panic(fmt.Sprintf("guest: no NUMA arena for node %d", node))
 		}
-		if h.next+pages > h.region.Pages {
+		if pages > h.free() {
 			h = k.spillArena(pages)
 			if h == nil {
 				free := int64(0)
 				for _, o := range k.perNode {
-					if f := o.region.Pages - o.next; f > free {
+					if f := o.free(); f > free {
 						free = f
 					}
 				}
@@ -269,8 +319,8 @@ func (k *Kernel) carve(node int, pages int64) (mem.Region, error) {
 		h.next += pages
 		return r, nil
 	}
-	if k.heapNext+pages > k.heap.Pages {
-		return mem.Region{}, &OutOfMemoryError{Node: node, Pages: pages, Free: k.heap.Pages - k.heapNext}
+	if k.heapNext+pages > k.heap.Pages-k.heapBallooned {
+		return mem.Region{}, &OutOfMemoryError{Node: node, Pages: pages, Free: k.heap.Pages - k.heapNext - k.heapBallooned}
 	}
 	r := mem.Region{Name: "anon", Start: k.heap.Start + mem.PageID(k.heapNext), Pages: pages, Kind: mem.KindHeap}
 	k.heapNext += pages
@@ -303,7 +353,7 @@ func (k *Kernel) spillArena(pages int64) *nodeHeap {
 	bestFree := int64(-1)
 	bestNode := -1
 	for n, h := range k.perNode {
-		free := h.region.Pages - h.next
+		free := h.free()
 		if free < pages {
 			continue
 		}
@@ -322,4 +372,143 @@ func (k *Kernel) Free(p *sim.Proc, node, vcpu int, r mem.Region) {
 	p.Sleep(k.costs.SyscallCPU)
 	k.PageTableUpdate(p, node, vcpu)
 	k.allocMu.Unlock()
+	if k.obs != nil {
+		k.obs.FreePages(p, node, r.Pages)
+	}
+}
+
+// arenaFor returns the balloon-visible arena of a node: the node's NUMA
+// arena when the guest is NUMA aware, the unified heap otherwise (any
+// node id addresses it).
+func (k *Kernel) arenaFor(node int) *nodeHeap {
+	if k.cfg.NUMAAware && len(k.perNode) > 0 {
+		h, ok := k.perNode[node]
+		if !ok {
+			panic(fmt.Sprintf("guest: no NUMA arena for node %d", node))
+		}
+		return h
+	}
+	return nil
+}
+
+// BalloonReserve pins up to pages currently-free pages of node's arena
+// for the host (balloon inflation) and returns how many it took. Pinned
+// pages cannot be carved by the allocator until BalloonReturn hands them
+// back; the balloon never steals allocated pages, so inflation is capped
+// by the arena's free space.
+func (k *Kernel) BalloonReserve(node int, pages int64) int64 {
+	if pages < 0 {
+		panic("guest: balloon reservation must be non-negative")
+	}
+	if h := k.arenaFor(node); h != nil {
+		take := min64(pages, h.free())
+		h.ballooned += take
+		return take
+	}
+	take := min64(pages, k.heap.Pages-k.heapNext-k.heapBallooned)
+	k.heapBallooned += take
+	return take
+}
+
+// BalloonReturn releases balloon-pinned pages of node's arena back to the
+// allocator (balloon deflation). Returning more than is pinned panics.
+func (k *Kernel) BalloonReturn(node int, pages int64) {
+	if pages < 0 {
+		panic("guest: balloon return must be non-negative")
+	}
+	if h := k.arenaFor(node); h != nil {
+		if pages > h.ballooned {
+			panic(fmt.Sprintf("guest: balloon return of %d pages exceeds %d pinned on node %d", pages, h.ballooned, node))
+		}
+		h.ballooned -= pages
+		return
+	}
+	if pages > k.heapBallooned {
+		panic(fmt.Sprintf("guest: balloon return of %d pages exceeds %d pinned", pages, k.heapBallooned))
+	}
+	k.heapBallooned -= pages
+}
+
+// BalloonWork charges one balloon PTE-update batch to p: the allocator
+// lock, its shared kernel page, and a page-table update — exactly the
+// hooks an allocation pays, because inflating or deflating the balloon
+// walks the same zone-lock + mapping-change path.
+func (k *Kernel) BalloonWork(p *sim.Proc, node, vcpu int) {
+	k.allocMu.Lock(p)
+	k.dsm.Touch(p, node, k.allocLock, true)
+	p.Sleep(k.costs.SyscallCPU)
+	k.PageTableUpdate(p, node, vcpu)
+	k.allocMu.Unlock()
+}
+
+// CapacityPages returns the guest heap's total capacity in pages.
+func (k *Kernel) CapacityPages() int64 {
+	if len(k.perNode) > 0 {
+		var total int64
+		for _, h := range k.perNode {
+			total += h.region.Pages
+		}
+		return total
+	}
+	return k.heap.Pages
+}
+
+// AllocatedPages returns the pages the bump allocator has handed out.
+func (k *Kernel) AllocatedPages() int64 {
+	if len(k.perNode) > 0 {
+		var total int64
+		for _, h := range k.perNode {
+			total += h.next
+		}
+		return total
+	}
+	return k.heapNext
+}
+
+// BalloonedOn returns the pages currently pinned by the balloon on one
+// node's arena (the whole unified heap when the guest is not NUMA aware).
+func (k *Kernel) BalloonedOn(node int) int64 {
+	if h := k.arenaFor(node); h != nil {
+		return h.ballooned
+	}
+	return k.heapBallooned
+}
+
+// BalloonedNodes returns, in ascending order, the node ids whose arenas
+// currently hold balloon-pinned pages (node 0 stands for the whole heap
+// when the guest is not NUMA aware).
+func (k *Kernel) BalloonedNodes() []int {
+	if len(k.perNode) == 0 {
+		if k.heapBallooned > 0 {
+			return []int{0}
+		}
+		return nil
+	}
+	var ids []int
+	for n, h := range k.perNode {
+		if h.ballooned > 0 {
+			ids = append(ids, n)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// BalloonedPages returns the pages currently pinned by the balloon.
+func (k *Kernel) BalloonedPages() int64 {
+	if len(k.perNode) > 0 {
+		var total int64
+		for _, h := range k.perNode {
+			total += h.ballooned
+		}
+		return total
+	}
+	return k.heapBallooned
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }

@@ -244,3 +244,82 @@ func TestFreeTouchesAllocator(t *testing.T) {
 		}
 	})
 }
+
+// countingObserver records the allocator telemetry stream.
+type countingObserver struct {
+	allocs, frees int
+	pages         int64
+}
+
+func (c *countingObserver) AllocPages(p *sim.Proc, node int, pages int64) {
+	c.allocs++
+	c.pages += pages
+}
+func (c *countingObserver) FreePages(p *sim.Proc, node int, pages int64) {
+	c.frees++
+	c.pages -= pages
+}
+
+func TestMemObserverSeesAllocAndFree(t *testing.T) {
+	env, _, k, _ := newTestKernel(2, 2, OptimizedConfig())
+	obs := &countingObserver{}
+	k.SetMemObserver(obs)
+	run(env, func(p *sim.Proc) {
+		r, err := k.Alloc(p, 0, 0, 1<<20)
+		if err != nil {
+			t.Errorf("Alloc: %v", err)
+			return
+		}
+		k.Free(p, 0, 0, r)
+	})
+	if obs.allocs != 1 || obs.frees != 1 {
+		t.Errorf("observer saw %d allocs, %d frees, want 1 each", obs.allocs, obs.frees)
+	}
+	if obs.pages != 0 {
+		t.Errorf("observer net pages = %d, want 0 after free", obs.pages)
+	}
+}
+
+func TestBalloonReserveLimitsAllocator(t *testing.T) {
+	// Pin everything but one page on both NUMA arenas: the allocator
+	// must OOM on a two-page request and succeed after deflation.
+	env, _, k, _ := newTestKernel(2, 2, OptimizedConfig())
+	run(env, func(p *sim.Proc) {
+		var pinned int64
+		for n := 0; n < 2; n++ {
+			free := k.CapacityPages()/2 - 1 // per-arena capacity minus one
+			pinned += k.BalloonReserve(n, free)
+		}
+		if got := k.BalloonedPages(); got != pinned {
+			t.Fatalf("BalloonedPages = %d, want %d", got, pinned)
+		}
+		if _, err := k.Alloc(p, 0, 0, 2*4096); err == nil {
+			t.Error("allocation beyond ballooned capacity succeeded")
+		}
+		if _, err := k.Alloc(p, 0, 0, 4096); err != nil {
+			t.Errorf("single free page should still be allocatable: %v", err)
+		}
+		k.BalloonReturn(0, 1)
+		if _, err := k.Alloc(p, 1, 1, 4096); err != nil {
+			t.Errorf("allocation after balloon return failed: %v", err)
+		}
+	})
+}
+
+func TestBalloonReserveCappedByFreePages(t *testing.T) {
+	// The balloon never steals allocated pages: a reservation larger
+	// than the arena's free space is truncated.
+	env, _, k, _ := newTestKernel(1, 1, VanillaConfig())
+	run(env, func(p *sim.Proc) {
+		if _, err := k.Alloc(p, 0, 0, 1<<20); err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		free := k.CapacityPages() - k.AllocatedPages()
+		if got := k.BalloonReserve(0, free+1000); got != free {
+			t.Errorf("BalloonReserve took %d pages, want %d (free)", got, free)
+		}
+		if got := k.BalloonReserve(0, 1); got != 0 {
+			t.Errorf("second reservation took %d pages from an empty arena", got)
+		}
+	})
+}

@@ -97,6 +97,16 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 			Scales:      []float64{0.02},
 			Seeds:       sweep.Seeds(1, 4),
 		}, true},
+		{"fleetsoak-resize", experiments.SweepSpec{
+			Experiments: []string{"fleetsoak-resize"},
+			Scales:      []float64{0.02},
+			Seeds:       sweep.Seeds(1, 4),
+		}, true},
+		{"reduce", experiments.SweepSpec{
+			Experiments: []string{"reduce"},
+			Scales:      []float64{0.02},
+			Seeds:       sweep.Seeds(1, 2),
+		}, true},
 		{"fleetchurn", experiments.SweepSpec{
 			Experiments: []string{"fleetchurn"},
 			Scales:      []float64{0.02},

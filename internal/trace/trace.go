@@ -53,6 +53,7 @@ const (
 	CatSched                      // consolidation scheduler decisions
 	CatFault                      // injected faults (instants)
 	CatFleet                      // fleet control plane: admit/lease/reclaim/rebalance
+	CatBalloon                    // balloon driver: inflate/deflate/reclaim stalls
 	CatQueue                      // derived: root time no child span covers
 	CatOther
 	numCategories
@@ -60,7 +61,7 @@ const (
 
 var catNames = [numCategories]string{
 	"task", "compute", "dsm-wait", "network", "checkpoint",
-	"migrate", "sched", "fault", "fleet", "queueing", "other",
+	"migrate", "sched", "fault", "fleet", "balloon", "queueing", "other",
 }
 
 func (c Category) String() string {

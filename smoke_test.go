@@ -69,12 +69,12 @@ func TestSmokeCmdFragsweep(t *testing.T) {
 		t.Skip("skipping go-run smoke test in -short mode")
 	}
 	out := runSmoke(t, "./cmd/fragsweep", "-list")
-	for _, want := range []string{"fleetsoak", "fleetsoak-evict", "fleetchurn"} {
+	for _, want := range []string{"fleetsoak", "fleetsoak-evict", "fleetsoak-resize", "fleetchurn", "reduce"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("fragsweep -list output lacks %q:\n%s", want, out)
 		}
 	}
-	// The default reclaim-vs-evict grid shrunk to 4 seeds, sequentially
+	// The default three-policy grid shrunk to 4 seeds, sequentially
 	// and across the worker pool: the JSON must parse, carry per-run and
 	// stats entries plus the policy-comparison table, and be
 	// byte-identical between the two runs.
@@ -101,10 +101,10 @@ func TestSmokeCmdFragsweep(t *testing.T) {
 			t.Fatalf("fragsweep emitted an empty %s table for %s", e.Kind, e.Experiment)
 		}
 	}
-	// 2 experiments x 4 seeds = 8 run tables, 2 stats tables, and the
-	// reclaim-vs-evict comparison the default grid enables.
-	if kinds["run"] != 8 || kinds["stats"] != 2 || kinds["comparison"] != 1 {
-		t.Fatalf("fragsweep entry kinds = %v, want 8 runs, 2 stats, 1 comparison", kinds)
+	// 3 experiments x 4 seeds = 12 run tables, 3 stats tables, and the
+	// policy comparison the default grid enables.
+	if kinds["run"] != 12 || kinds["stats"] != 3 || kinds["comparison"] != 1 {
+		t.Fatalf("fragsweep entry kinds = %v, want 12 runs, 3 stats, 1 comparison", kinds)
 	}
 }
 
