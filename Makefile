@@ -5,9 +5,9 @@
 GO ?= go
 
 .PHONY: check check-race fmt vet build test race bench-smoke trace-smoke \
-	bench-json perf-smoke sweep-smoke balloon-smoke
+	bench-json perf-smoke sweep-smoke balloon-smoke topo-smoke
 
-check: fmt vet build race bench-smoke perf-smoke sweep-smoke balloon-smoke
+check: fmt vet build race bench-smoke perf-smoke sweep-smoke balloon-smoke topo-smoke
 	@echo "check: all gates passed"
 
 fmt:
@@ -37,10 +37,10 @@ bench-smoke:
 
 # Full perf snapshot: microbenchmarks at BENCHTIME each, the figure
 # suite, a >10^6-event fleet soak with a steady-state heap assertion, and
-# a parallel-sweep scaling benchmark. Regenerates BENCH_pr7.json; see
+# a parallel-sweep scaling benchmark. Regenerates BENCH_pr8.json; see
 # "Performance tracking" in the README.
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_pr7.json
+BENCHOUT ?= BENCH_pr8.json
 bench-json:
 	$(GO) run ./cmd/fragperf -benchtime $(BENCHTIME) -out $(BENCHOUT)
 
@@ -79,3 +79,22 @@ balloon-smoke:
 	grep -q '"evict"' /tmp/balloon-par.json
 	grep -q '"resize"' /tmp/balloon-par.json
 	@echo "balloon-smoke: three-policy grid byte-identical; all policy rows present"
+
+# Topology gate, two halves. Flat equivalence: figures run through the
+# flat topo.Fabric must be byte-identical to the legacy netsim fabric —
+# text tables and the traced Chrome JSON alike. Tree determinism: the
+# fleettopo oversubscribed-spine sweep must be byte-identical across
+# worker counts.
+topo-smoke:
+	$(GO) run ./cmd/fragbench -fig fig4 -scale 0.01 > /tmp/topo-legacy.txt
+	$(GO) run ./cmd/fragbench -fig fig14 -scale 0.01 >> /tmp/topo-legacy.txt
+	$(GO) run ./cmd/fragbench -fig fig4 -scale 0.01 -topo flat > /tmp/topo-flat.txt
+	$(GO) run ./cmd/fragbench -fig fig14 -scale 0.01 -topo flat >> /tmp/topo-flat.txt
+	cmp /tmp/topo-legacy.txt /tmp/topo-flat.txt
+	$(GO) run ./cmd/fragtrace -experiment fig4 -scale 0.005 -out /tmp/topo-trace-legacy.json
+	$(GO) run ./cmd/fragtrace -experiment fig4 -scale 0.005 -topo flat -out /tmp/topo-trace-flat.json
+	cmp /tmp/topo-trace-legacy.json /tmp/topo-trace-flat.json
+	$(GO) run ./cmd/fragsweep -experiments fleettopo -scales 0.05 -seeds 6 -runs -json -parallel 1 > /tmp/topo-seq.json
+	$(GO) run ./cmd/fragsweep -experiments fleettopo -scales 0.05 -seeds 6 -runs -json > /tmp/topo-par.json
+	cmp /tmp/topo-seq.json /tmp/topo-par.json
+	@echo "topo-smoke: flat topology byte-identical to netsim; tree sweep deterministic under -parallel"

@@ -29,6 +29,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 func main() {
@@ -47,6 +48,7 @@ func main() {
 	rebalance := flag.Float64("rebalance", 10, "consolidation tick period, seconds (0 disables)")
 	reclaimAt := flag.String("reclaim-at", "", "owner-driven reclaim, node@seconds (e.g. 2@30)")
 	crash := flag.String("crash", "", "inject a node crash, node@seconds (e.g. 1@25)")
+	topoFlag := flag.String("topo", "", "fabric topology: flat or tree:RxN@O; a tree makes placement locality-aware (e.g. tree:2x4@4)")
 	events := flag.Int("events", 20, "event-log rows to print (0 disables, -1 prints all)")
 	flag.Parse()
 
@@ -60,12 +62,26 @@ func main() {
 		os.Exit(1)
 	}
 
+	spec, err := topo.ParseSpec(*topoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fragfleet:", err)
+		os.Exit(1)
+	}
+	if spec != nil && spec.Nodes() != 0 && *nodes > spec.Nodes() {
+		fmt.Fprintf(os.Stderr, "fragfleet: %d nodes do not fit the %s topology\n", *nodes, spec)
+		os.Exit(1)
+	}
+
 	env := sim.NewEnv()
 	params := cluster.DefaultParams()
 	params.CoresPerNode = *cpus
 	params.RAMBytes = *memGiB << 30
+	params.Topo = spec
 	clus := cluster.New(env, *nodes, params)
 	cfg := fleet.ClusterConfig(clus, pol)
+	if spec != nil {
+		cfg.Distance = spec.Distance
+	}
 	cfg.AutoReclaim = *autoReclaim
 	cfg.RebalanceEvery = sim.FromSeconds(*rebalance)
 	cfg.Horizon = sim.FromSeconds(*until)
@@ -167,6 +183,9 @@ func main() {
 	}
 	if st.NodeFailures > 0 {
 		waits.AddNote("node failures %d, fragment restarts %d", st.NodeFailures, st.Restarts)
+	}
+	if spec != nil {
+		waits.AddNote("topology %s: %d rack-local gangs, %d cross-spine", spec, st.LocalGangs, st.CrossGangs)
 	}
 	waits.Fprint(os.Stdout)
 }

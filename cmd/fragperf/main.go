@@ -23,7 +23,7 @@
 //
 // Usage:
 //
-//	fragperf [-out BENCH_pr7.json] [-benchtime 1s] [-quick]
+//	fragperf [-out BENCH_pr8.json] [-benchtime 1s] [-quick]
 //
 // -quick runs every microbenchmark for a single calibration pass and
 // shrinks the soak; it is the CI smoke mode (make perf-smoke).
@@ -48,6 +48,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/topo"
 )
 
 // BenchResult is one microbenchmark's measurement.
@@ -102,7 +103,7 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr7.json", "output JSON path (- for stdout)")
+	out := flag.String("out", "BENCH_pr8.json", "output JSON path (- for stdout)")
 	benchtime := flag.String("benchtime", "1s", "target run time per microbenchmark (go-test syntax: a duration, or Nx for a fixed iteration count)")
 	quick := flag.Bool("quick", false, "single-pass smoke mode: one iteration per benchmark, small soak")
 	soakVMs := flag.Int("soak-vms", 48, "fleet VMs per soak wave")
@@ -142,6 +143,8 @@ func main() {
 		{"vcpu-migration", benchVCPUMigration},
 		{"balloon-inflate", benchBalloonInflate},
 		{"wss-update", benchWSSUpdate},
+		{"topo-route", benchTopoRoute},
+		{"link-contention", benchLinkContention},
 	} {
 		r := measure(b.name, benchDur, benchIters, b.fn)
 		fmt.Fprintf(os.Stderr, "%-20s %10d iters  %12.1f ns/op %10.1f B/op %8.2f allocs/op\n",
@@ -392,6 +395,39 @@ func benchWSSUpdate(n int) {
 	for i := 0; i < n; i++ {
 		est.Observe(int64(i % 4096))
 	}
+}
+
+// benchTopoRoute measures one cross-rack topology send per op: route
+// lookup plus charging all four links of a 2-rack tree with an
+// oversubscribed spine — the per-message overhead the topology layer
+// adds over the flat fabric's single-NIC charge.
+func benchTopoRoute(n int) {
+	env := sim.NewEnv()
+	fab := topo.TreeSpec(2, 2, 4).Build(env, "bench", 56, 1500*sim.Nanosecond)
+	env.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			fab.Send(0, 2, 4096, nil)
+			p.Sleep(1)
+		}
+	})
+	env.Run()
+}
+
+// benchLinkContention measures a contended shared link: two senders in
+// one rack blast a receiver across the spine, so every message queues on
+// the rack's ToR uplink FIFO. One delivered message per op.
+func benchLinkContention(n int) {
+	env := sim.NewEnv()
+	fab := topo.TreeSpec(2, 2, 4).Build(env, "bench", 56, 1500*sim.Nanosecond)
+	env.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < n/2+1; i++ {
+			ev := env.NewEvent()
+			fab.Send(0, 2, 65536, nil)
+			fab.Send(1, 2, 65536, ev.Fire)
+			p.Wait(ev)
+		}
+	})
+	env.Run()
 }
 
 // runFigure times one full figure experiment at quick scale.

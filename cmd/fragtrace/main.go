@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
@@ -32,6 +33,7 @@ func main() {
 	out := flag.String("out", "trace.json", "Chrome trace-event output file")
 	scale := flag.Float64("scale", 0.01, "workload scale (1.0 = paper scale)")
 	seed := flag.Int64("seed", 42, "deterministic seed")
+	topoFlag := flag.String("topo", "", "fabric topology: flat or tree:RxN@O (empty = legacy netsim fabric)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -40,9 +42,15 @@ func main() {
 		return
 	}
 
+	spec, err := topo.ParseSpec(*topoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fragtrace:", err)
+		os.Exit(2)
+	}
+
 	sess := trace.NewSession()
 	acct := experiments.NewTraffic()
-	o := experiments.Options{Scale: *scale, Seed: *seed, Trace: sess, Acct: acct}
+	o := experiments.Options{Scale: *scale, Seed: *seed, Trace: sess, Acct: acct, Topo: spec}
 	tab, err := experiments.Run(*experiment, o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // ClientID is the fabric endpoint address used by the external
@@ -30,6 +31,13 @@ type Params struct {
 	EthGbps      float64  // client network bandwidth
 	EthLat       sim.Time // client network one-way latency
 	SSDBps       float64  // SSD sequential bandwidth, bytes/second
+
+	// Topo selects the inter-hypervisor fabric model: nil keeps the
+	// legacy flat netsim.Net; a topology spec compiles a topo.Fabric
+	// with FabricGbps/FabricLat as the host-link parameters. The client
+	// Ethernet always stays flat — load generators sit outside the
+	// datacenter tree.
+	Topo *topo.Spec
 }
 
 // DefaultParams returns the paper's testbed hardware.
@@ -58,8 +66,8 @@ type Node struct {
 type Cluster struct {
 	Env    *sim.Env
 	Nodes  []*Node
-	Fabric *netsim.Net // inter-hypervisor network (InfiniBand)
-	Client *netsim.Net // client-facing network (1 GbE)
+	Fabric netsim.Fabric // inter-hypervisor network (InfiniBand)
+	Client *netsim.Net   // client-facing network (1 GbE)
 	Params Params
 }
 
@@ -71,9 +79,18 @@ func New(env *sim.Env, n int, p Params) *Cluster {
 	if p.CPUHz <= 0 || p.CoresPerNode <= 0 {
 		panic("cluster: invalid CPU parameters")
 	}
+	var fabric netsim.Fabric
+	if p.Topo != nil {
+		if max := p.Topo.Nodes(); max != 0 && n > max {
+			panic(fmt.Sprintf("cluster: %d nodes do not fit the %s topology", n, p.Topo))
+		}
+		fabric = p.Topo.Build(env, "fabric", p.FabricGbps, p.FabricLat)
+	} else {
+		fabric = netsim.New(env, "fabric", p.FabricLat, p.FabricGbps)
+	}
 	c := &Cluster{
 		Env:    env,
-		Fabric: netsim.New(env, "fabric", p.FabricLat, p.FabricGbps),
+		Fabric: fabric,
 		Client: netsim.New(env, "client", p.EthLat, p.EthGbps),
 		Params: p,
 	}

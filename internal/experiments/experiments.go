@@ -22,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/overcommit"
 	"repro/internal/sim"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
@@ -40,6 +41,11 @@ type Options struct {
 	// Acct, when non-nil, registers every cluster the experiment builds,
 	// so per-node fabric traffic can be reported after the run.
 	Acct *Traffic
+	// Topo, when non-nil, selects the inter-hypervisor fabric topology
+	// for every cluster the experiment builds (nil = the legacy flat
+	// netsim fabric; topo.FlatSpec() takes the topology code path with
+	// byte-identical results — the topo-smoke gate).
+	Topo *topo.Spec
 }
 
 // DefaultOptions runs at 1/10 of paper scale.
@@ -79,11 +85,24 @@ func (o Options) observe(label string, c *cluster.Cluster) *cluster.Cluster {
 	return c
 }
 
+// params returns the default cluster parameters with the options' fabric
+// topology applied.
+func (o Options) params() cluster.Params {
+	p := cluster.DefaultParams()
+	p.Topo = o.Topo
+	return p
+}
+
+// newCluster builds an n-node cluster on the options' fabric topology.
+func (o Options) newCluster(env *sim.Env, n int) *cluster.Cluster {
+	return cluster.New(env, n, o.params())
+}
+
 // newFragVM builds a FragVisor Aggregate VM with one vCPU per node on a
 // fresh simulated cluster.
 func newFragVM(o Options, n int) *hypervisor.VM {
 	env := o.newEnv(fmt.Sprintf("fragvisor/%dnode", n))
-	c := o.observe("fragvisor", cluster.NewDefault(env, n))
+	c := o.observe("fragvisor", o.newCluster(env, n))
 	nodes := make([]int, n)
 	for i := range nodes {
 		nodes[i] = i
@@ -94,7 +113,7 @@ func newFragVM(o Options, n int) *hypervisor.VM {
 // newFragVMVanillaGuest is FragVisor with the unpatched guest (Fig 10).
 func newFragVMVanillaGuest(o Options, n int) *hypervisor.VM {
 	env := o.newEnv(fmt.Sprintf("fragvisor-vanilla/%dnode", n))
-	c := o.observe("fragvisor-vanilla", cluster.NewDefault(env, n))
+	c := o.observe("fragvisor-vanilla", o.newCluster(env, n))
 	nodes := make([]int, n)
 	for i := range nodes {
 		nodes[i] = i
@@ -108,7 +127,7 @@ func newFragVMVanillaGuest(o Options, n int) *hypervisor.VM {
 // newGiantVM builds the GiantVM baseline with one vCPU per node.
 func newGiantVM(o Options, n int) *hypervisor.VM {
 	env := o.newEnv(fmt.Sprintf("giantvm/%dnode", n))
-	c := o.observe("giantvm", cluster.NewDefault(env, n))
+	c := o.observe("giantvm", o.newCluster(env, n))
 	nodes := make([]int, n)
 	for i := range nodes {
 		nodes[i] = i
@@ -119,7 +138,7 @@ func newGiantVM(o Options, n int) *hypervisor.VM {
 // newOvercommitVM builds a single-node VM with nVCPU vCPUs on k pCPUs.
 func newOvercommitVM(o Options, nVCPU, k int) *hypervisor.VM {
 	env := o.newEnv(fmt.Sprintf("overcommit/%dvcpu-%dpcpu", nVCPU, k))
-	c := o.observe("overcommit", cluster.NewDefault(env, 1))
+	c := o.observe("overcommit", o.newCluster(env, 1))
 	return overcommit.New(c, 0, k, nVCPU, guestMem)
 }
 
@@ -127,7 +146,7 @@ func newOvercommitVM(o Options, nVCPU, k int) *hypervisor.VM {
 // n pCPUs — the "vanilla Linux single machine" baseline of Fig 1.
 func newSingleMachineVM(o Options, n int) *hypervisor.VM {
 	env := o.newEnv(fmt.Sprintf("single-machine/%dvcpu", n))
-	c := o.observe("single-machine", cluster.NewDefault(env, 1))
+	c := o.observe("single-machine", o.newCluster(env, 1))
 	return overcommit.New(c, 0, n, n, guestMem)
 }
 

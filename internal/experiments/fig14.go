@@ -37,7 +37,7 @@ func Fig14(o Options) *metrics.Table {
 	if o.Trace != nil {
 		o.Trace.Attach(env, "fig14/sched")
 	}
-	params := cluster.DefaultParams()
+	params := o.params()
 	params.CoresPerNode = 12
 	clus := o.observe("fig14", cluster.New(env, 4, params))
 	s := sched.New(env, sched.Config{Nodes: 4, CPUsPerNode: 12, Policy: sched.MinFrag})

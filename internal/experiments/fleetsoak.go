@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
@@ -54,7 +53,7 @@ func fleetSoak(o Options, pol fleet.ReclaimPolicy, churn bool) *metrics.Table {
 	}
 
 	env := o.newEnv(fmt.Sprintf("%s/seed%d", kind, o.Seed))
-	c := o.observe(kind, cluster.NewDefault(env, nodes))
+	c := o.observe(kind, o.newCluster(env, nodes))
 	cfg := fleet.ClusterConfig(c, sched.MinFrag)
 	cfg.Reclaim = pol
 	cfg.AutoReclaim = true

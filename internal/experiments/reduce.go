@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/balloon"
-	"repro/internal/cluster"
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -65,7 +64,7 @@ func runReduce(o Options) *metrics.Table {
 func reduceRun(o Options, mode string) reduceResult {
 	const nodes = 2
 	env := o.newEnv("reduce/" + mode)
-	c := o.observe("reduce-"+mode, cluster.NewDefault(env, nodes))
+	c := o.observe("reduce-"+mode, o.newCluster(env, nodes))
 	ns := []int{0, 1}
 	vm := hypervisor.New(hypervisor.FragVisorConfig(c, hypervisor.SpreadPlacement(ns, nodes), guestMem))
 	drv := balloon.NewDriver(env, vm.Kernel, balloon.DefaultCosts())

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sweep"
+	"repro/internal/topo"
 )
 
 // SweepSpec describes a multi-run grid over the registered experiment
@@ -15,6 +16,10 @@ type SweepSpec struct {
 	Scales      []float64
 	Seeds       []int64
 	Parallel    int
+	// Topo applies a fabric topology to every grid point (nil = flat
+	// netsim fabric). Specs are pure shape descriptions, safe to share
+	// across the worker pool — each point compiles its own link graph.
+	Topo *topo.Spec
 }
 
 // SweepResult bundles the per-run results (in grid order) with the
@@ -59,7 +64,7 @@ func RunSweep(s SweepSpec) (*SweepResult, error) {
 	}
 	spec := sweep.Spec{Experiments: s.Experiments, Scales: s.Scales, Seeds: s.Seeds}
 	runs, err := sweep.Run(spec, s.Parallel, func(p sweep.Point) (*metrics.Table, error) {
-		return Run(p.Experiment, Options{Scale: p.Scale, Seed: p.Seed})
+		return Run(p.Experiment, Options{Scale: p.Scale, Seed: p.Seed, Topo: s.Topo})
 	})
 	if err != nil {
 		return nil, err

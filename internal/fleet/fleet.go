@@ -164,6 +164,12 @@ type Config struct {
 	Horizon sim.Time
 	// Fault, when set, is the liveness source for the heartbeat.
 	Fault *fault.Injector
+	// Distance, when set, is the topology oracle (topo.Spec.Distance):
+	// admission, borrowing, and consolidation prefer rack-local node
+	// sets wherever the capacity policy leaves a tie, and gangs are
+	// classified local/remote in Stats. Nil keeps the flat decision
+	// procedure — and the event log — bit for bit.
+	Distance sched.DistanceFunc
 }
 
 // ClusterConfig derives a fleet config from simulated hardware: every
@@ -182,6 +188,8 @@ type Stats struct {
 	Admitted   int // VMs placed (single-node or gang)
 	SingleNode int // placed on one node
 	Gangs      int // fragmented (Aggregate VM) placements
+	LocalGangs int // gangs whose fragments all share a rack (span <= 2)
+	CrossGangs int // gangs straddling the spine (span > 2; 0 without Distance)
 	Queued     int // requests that waited at least once
 	Requeues   int // VMs sent back to the queue after losing a node
 	MaxQueue   int // high-water queue length
@@ -500,11 +508,11 @@ func (f *Fleet) enqueue(r Request) {
 // false when the request must wait.
 func (f *Fleet) tryAdmit(r Request) bool {
 	eff := f.effective(r.memPerCPU())
-	if node, ok := sched.BestFit(eff, r.VCPUs); ok {
+	if node, ok := sched.BestFitTopo(eff, r.VCPUs, f.cfg.Distance, nil); ok {
 		f.commit(r, sched.Placement{node: r.VCPUs}, "admit")
 		return true
 	}
-	if pl, ok := sched.FragPlacement(eff, r.VCPUs, f.cfg.Policy); ok {
+	if pl, ok := sched.FragPlacementTopo(eff, r.VCPUs, f.cfg.Policy, f.cfg.Distance, nil); ok {
 		f.commit(r, pl, "gang")
 		return true
 	}
@@ -542,6 +550,11 @@ func (f *Fleet) commit(r Request, pl sched.Placement, kind string) {
 		f.log(kind, r.ID, -1, placementNodes(pl)[0], r.VCPUs, -1)
 	} else {
 		f.stats.Gangs++
+		if pl.Span(f.cfg.Distance) <= 2 {
+			f.stats.LocalGangs++
+		} else {
+			f.stats.CrossGangs++
+		}
 		f.log(kind, r.ID, -1, -1, r.VCPUs, -1)
 	}
 	f.ballooned.Provision(r.ID, int64(r.VCPUs))
@@ -651,7 +664,7 @@ func (f *Fleet) consolidateAll() []liveMove {
 	for _, id := range ids {
 		pl := f.placements[id]
 		eff := f.effective(f.reqs[id].memPerCPU())
-		moves := sched.ConsolidationMoves(eff, f.cfg.CPUsPerNode, pl, f.cfg.Policy)
+		moves := sched.ConsolidationMovesTopo(eff, f.cfg.CPUsPerNode, pl, f.cfg.Policy, f.cfg.Distance)
 		for _, m := range moves {
 			if !f.moveAccounting(id, m.From, m.To, m.N) {
 				break

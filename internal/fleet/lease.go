@@ -235,18 +235,22 @@ func (f *Fleet) relocate(vmID, src int) ([]liveMove, bool) {
 
 // placeFragment gang-places k vCPUs given an effective-capacity vector,
 // preferring the VM's existing slice nodes (consolidation) before
-// spilling onto new lenders.
+// spilling onto new lenders. With a topology oracle, the spill anchors on
+// the VM's surviving slices so new borrow sets cluster around the gang
+// instead of scattering across the spine.
 func (f *Fleet) placeFragment(eff []int, pl sched.Placement, src, k int) (sched.Placement, bool) {
 	own := make([]int, len(eff))
+	var near []int
 	for _, n := range placementNodes(pl) {
 		if n != src {
 			own[n] = eff[n]
+			near = append(near, n)
 		}
 	}
-	if target, ok := sched.FragPlacement(own, k, f.cfg.Policy); ok {
+	if target, ok := sched.FragPlacementTopo(own, k, f.cfg.Policy, f.cfg.Distance, nil); ok {
 		return target, true
 	}
-	return sched.FragPlacement(eff, k, f.cfg.Policy)
+	return sched.FragPlacementTopo(eff, k, f.cfg.Policy, f.cfg.Distance, near)
 }
 
 // reclaimFor is admission-driven reclaim: if some lender node could host

@@ -34,6 +34,41 @@ type Filter interface {
 	Outcome(from, to, size int) Outcome
 }
 
+// Fabric is the message-fabric interface shared by the flat Net below and
+// the topology-aware internal/topo.Fabric: everything the messaging layer,
+// the DSM cost model, checkpointing, fault injection, and the per-node
+// traffic reports need from an interconnect. The flat Net is the reference
+// semantics — a topology implementation restricted to one switch must be
+// byte-identical to it.
+type Fabric interface {
+	// Name returns the fabric's diagnostic name.
+	Name() string
+	// Latency returns the fabric's minimum one-way propagation latency
+	// (the full path latency of the closest endpoint pair) — the value
+	// protocol cost models (DSM RTT estimates, checkpoint RTOs) build on.
+	Latency() sim.Time
+	// TxTime returns the serialization time for size bytes at an edge
+	// (host) link.
+	TxTime(size int) sim.Time
+	// SetFilter installs (or, with nil, removes) the fault filter.
+	SetFilter(f Filter)
+	// Send transmits size bytes and invokes deliver at arrival time;
+	// deliver may be nil for fire-and-forget accounting. Returns the
+	// delivery time.
+	Send(from, to int, size int, deliver func()) sim.Time
+	// SendCtx is Send with a causal tracing parent span.
+	SendCtx(span int64, from, to int, size int, deliver func()) sim.Time
+	// SendAndWait transmits like Send but blocks the calling process
+	// until delivery.
+	SendAndWait(p *sim.Proc, from, to int, size int)
+	// Stats returns a copy of the fabric-wide traffic counters.
+	Stats() Stats
+	// Endpoints returns the ids of every endpoint that has sent, ascending.
+	Endpoints() []int
+	// EndpointSent returns the messages and bytes sent by an endpoint.
+	EndpointSent(id int) (msgs, bytes int64)
+}
+
 // Net is a message fabric. Construct with New.
 type Net struct {
 	env     *sim.Env
@@ -46,6 +81,8 @@ type Net struct {
 	tr      *trace.Tracer
 	nicSpan string // interned span name for NIC occupancy intervals
 }
+
+var _ Fabric = (*Net)(nil)
 
 // nic tracks when an endpoint's egress link is next free.
 type nic struct {
@@ -66,10 +103,10 @@ type Stats struct {
 // gigabits per second.
 func New(env *sim.Env, name string, latency sim.Time, gbps float64) *Net {
 	if gbps <= 0 {
-		panic(fmt.Sprintf("netsim: bandwidth %vGbps must be positive", gbps))
+		panic(fmt.Sprintf("netsim: bandwidth %v Gbps must be positive", gbps))
 	}
 	if latency < 0 {
-		panic("netsim: negative latency")
+		panic(fmt.Sprintf("netsim: latency %v must be non-negative", latency))
 	}
 	n := &Net{
 		env:     env,

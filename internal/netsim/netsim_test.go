@@ -88,6 +88,90 @@ func TestStats(t *testing.T) {
 	}
 }
 
+// scriptFilter rules per message index: a table of outcomes applied in
+// offer order.
+type scriptFilter struct {
+	outcomes []Outcome
+	next     int
+}
+
+func (f *scriptFilter) Outcome(from, to, size int) Outcome {
+	if f.next >= len(f.outcomes) {
+		return Outcome{}
+	}
+	o := f.outcomes[f.next]
+	f.next++
+	return o
+}
+
+// TestFilterAccounting pins down the Stats contract under fault
+// filtering: every offered message is counted in Messages and Bytes
+// (the sender's NIC was charged whether or not the fabric lost the
+// frame), Dropped/Delayed count the filter's verdicts, and only
+// non-dropped messages deliver.
+func TestFilterAccounting(t *testing.T) {
+	cases := []struct {
+		name     string
+		outcomes []Outcome
+		want     Stats
+		delivers int
+	}{
+		{"all-deliver", []Outcome{{}, {}, {}},
+			Stats{Messages: 3, Bytes: 600}, 3},
+		{"all-dropped", []Outcome{{Drop: true}, {Drop: true}, {Drop: true}},
+			Stats{Messages: 3, Bytes: 600, Dropped: 3}, 0},
+		{"all-delayed", []Outcome{{Delay: sim.Microsecond}, {Delay: sim.Microsecond}, {Delay: sim.Microsecond}},
+			Stats{Messages: 3, Bytes: 600, Delayed: 3}, 3},
+		{"mixed", []Outcome{{Drop: true}, {Delay: sim.Microsecond}, {}},
+			Stats{Messages: 3, Bytes: 600, Dropped: 1, Delayed: 1}, 2},
+		{"drop-and-delay-verdicts-drop-wins", []Outcome{{Drop: true, Delay: sim.Microsecond}},
+			Stats{Messages: 1, Bytes: 200, Dropped: 1}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			env := sim.NewEnv()
+			n := New(env, "ib", 0, 56)
+			n.SetFilter(&scriptFilter{outcomes: tc.outcomes})
+			delivered := 0
+			for i := 0; i < len(tc.outcomes); i++ {
+				n.Send(0, 1, 200, func() { delivered++ })
+			}
+			env.Run()
+			if got := n.Stats(); got != tc.want {
+				t.Errorf("stats = %+v, want %+v", got, tc.want)
+			}
+			if delivered != tc.delivers {
+				t.Errorf("delivered %d messages, want %d", delivered, tc.delivers)
+			}
+			// Endpoint accounting matches fabric-wide accounting: the
+			// sender is charged for dropped frames too.
+			msgs, bytes := n.EndpointSent(0)
+			if msgs != tc.want.Messages || bytes != tc.want.Bytes {
+				t.Errorf("endpoint sent %d/%d, want %d/%d", msgs, bytes, tc.want.Messages, tc.want.Bytes)
+			}
+		})
+	}
+}
+
+// TestFilterDelayedArrival checks the delay verdict shifts only the
+// arrival, not the NIC occupancy: a delayed message still frees the
+// sender's NIC at the undelayed time.
+func TestFilterDelayedArrival(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, "ib", 0, 8) // 1e9 B/s: 1000 B = 1 us serialization
+	n.SetFilter(&scriptFilter{outcomes: []Outcome{{Delay: 5 * sim.Microsecond}}})
+	var first, second sim.Time
+	n.Send(0, 1, 1000, func() { first = env.Now() })
+	n.Send(0, 1, 1000, func() { second = env.Now() })
+	env.Run()
+	if first != 6*sim.Microsecond {
+		t.Errorf("delayed delivery at %v, want 6us", first)
+	}
+	if second != 2*sim.Microsecond {
+		t.Errorf("second delivery at %v, want 2us (NIC freed at the undelayed time)", second)
+	}
+}
+
 func TestInvalidParams(t *testing.T) {
 	env := sim.NewEnv()
 	for _, fn := range []func(){

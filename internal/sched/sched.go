@@ -92,6 +92,11 @@ type Config struct {
 	Nodes       int
 	CPUsPerNode int
 	Policy      Policy
+	// Distance, when set, is the topology oracle (topo.Spec.Distance):
+	// placement and consolidation prefer nearby nodes wherever the
+	// capacity policy leaves a tie. Nil keeps the flat decision
+	// procedure bit for bit.
+	Distance DistanceFunc
 }
 
 // Stats summarizes a run.
@@ -234,7 +239,7 @@ func (s *Scheduler) place(r VMReq) bool {
 // bestFit returns the node whose free capacity fits the request most
 // tightly.
 func (s *Scheduler) bestFit(need int) (int, bool) {
-	return BestFit(s.free, need)
+	return BestFitTopo(s.free, need, s.cfg.Distance, nil)
 }
 
 // BestFit returns the index into free whose capacity fits the request most
@@ -252,7 +257,7 @@ func BestFit(free []int, need int) (int, bool) {
 
 // fragPlacement gathers fragments under the configured policy.
 func (s *Scheduler) fragPlacement(need int) (Placement, bool) {
-	return FragPlacement(s.free, need, s.cfg.Policy)
+	return FragPlacementTopo(s.free, need, s.cfg.Policy, s.cfg.Distance, nil)
 }
 
 // FragPlacement gathers fragments of the free-capacity vector into an
@@ -372,7 +377,7 @@ func (s *Scheduler) consolidateVM(p *sim.Proc, vmID int) {
 	if !ok {
 		return // departed meanwhile
 	}
-	for _, m := range ConsolidationMoves(s.free, s.cfg.CPUsPerNode, pl, s.cfg.Policy) {
+	for _, m := range ConsolidationMovesTopo(s.free, s.cfg.CPUsPerNode, pl, s.cfg.Policy, s.cfg.Distance) {
 		s.migrate(p, vmID, pl, m.From, m.To, m.N)
 	}
 	if len(pl) == 1 {

@@ -16,7 +16,17 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/sweep"
+	"repro/internal/topo"
 )
+
+// mustTopo parses a topology spec or dies — test-table convenience.
+func mustTopo(s string) *topo.Spec {
+	spec, err := topo.ParseSpec(s)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
 
 // runBoth executes the spec sequentially and with 4 workers.
 func runBoth(t *testing.T, s experiments.SweepSpec) (seq, par *experiments.SweepResult) {
@@ -111,6 +121,17 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 			Experiments: []string{"fleetchurn"},
 			Scales:      []float64{0.02},
 			Seeds:       sweep.Seeds(1, 4),
+		}, true},
+		{"fleettopo", experiments.SweepSpec{
+			Experiments: []string{"fleettopo"},
+			Scales:      []float64{0.05},
+			Seeds:       sweep.Seeds(1, 4),
+		}, true},
+		{"figure-tree-topo", experiments.SweepSpec{
+			Experiments: []string{"fig4"},
+			Scales:      []float64{0.01},
+			Seeds:       sweep.Seeds(42, 4),
+			Topo:        mustTopo("tree:2x2@4"),
 		}, true},
 	}
 	for _, k := range kinds {
