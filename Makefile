@@ -5,9 +5,9 @@
 GO ?= go
 
 .PHONY: check check-race fmt vet build test race bench-smoke trace-smoke \
-	bench-json perf-smoke sweep-smoke balloon-smoke topo-smoke
+	bench-json perf-smoke sweep-smoke balloon-smoke topo-smoke netstorm-smoke
 
-check: fmt vet build race bench-smoke perf-smoke sweep-smoke balloon-smoke topo-smoke
+check: fmt vet build race bench-smoke perf-smoke sweep-smoke balloon-smoke topo-smoke netstorm-smoke
 	@echo "check: all gates passed"
 
 fmt:
@@ -37,10 +37,10 @@ bench-smoke:
 
 # Full perf snapshot: microbenchmarks at BENCHTIME each, the figure
 # suite, a >10^6-event fleet soak with a steady-state heap assertion, and
-# a parallel-sweep scaling benchmark. Regenerates BENCH_pr8.json; see
+# a parallel-sweep scaling benchmark. Regenerates BENCH_pr9.json; see
 # "Performance tracking" in the README.
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_pr8.json
+BENCHOUT ?= BENCH_pr9.json
 bench-json:
 	$(GO) run ./cmd/fragperf -benchtime $(BENCHTIME) -out $(BENCHOUT)
 
@@ -98,3 +98,21 @@ topo-smoke:
 	$(GO) run ./cmd/fragsweep -experiments fleettopo -scales 0.05 -seeds 6 -runs -json > /tmp/topo-par.json
 	cmp /tmp/topo-seq.json /tmp/topo-par.json
 	@echo "topo-smoke: flat topology byte-identical to netsim; tree sweep deterministic under -parallel"
+
+# Reliable-transport / fault-domain gate. The netstorm experiment (drop
+# storms and a ToR-uplink cut against the data plane, a probe-visible
+# storm plus a host-link cut/heal against all three fleet reclaim
+# policies) must complete — the fault schedules once deadlocked blocking
+# senders — be byte-identical run-to-run and across sweep workers, and
+# actually exercise the typed-unreachable path (nonzero unreachable
+# probes in the fleet rows, recorded deaths in the cut rows).
+netstorm-smoke:
+	$(GO) run ./cmd/fragbench -fig netstorm -scale 0.02 > /tmp/netstorm-a.txt
+	$(GO) run ./cmd/fragbench -fig netstorm -scale 0.02 > /tmp/netstorm-b.txt
+	cmp /tmp/netstorm-a.txt /tmp/netstorm-b.txt
+	grep -q 'vm-tor-cut' /tmp/netstorm-a.txt
+	awk '$$1 == "fleet-storm" && $$10 == 0.000 { exit 1 }' /tmp/netstorm-a.txt
+	$(GO) run ./cmd/fragsweep -experiments netstorm -scales 0.02 -seeds 4 -runs -json -parallel 1 > /tmp/netstorm-seq.json
+	$(GO) run ./cmd/fragsweep -experiments netstorm -scales 0.02 -seeds 4 -runs -json > /tmp/netstorm-par.json
+	cmp /tmp/netstorm-seq.json /tmp/netstorm-par.json
+	@echo "netstorm-smoke: storm/cut recovery deterministic; unreachable path exercised"

@@ -23,7 +23,7 @@
 //
 // Usage:
 //
-//	fragperf [-out BENCH_pr8.json] [-benchtime 1s] [-quick]
+//	fragperf [-out BENCH_pr9.json] [-benchtime 1s] [-quick]
 //
 // -quick runs every microbenchmark for a single calibration pass and
 // shrinks the soak; it is the CI smoke mode (make perf-smoke).
@@ -45,6 +45,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/reliable"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -103,7 +105,7 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr8.json", "output JSON path (- for stdout)")
+	out := flag.String("out", "BENCH_pr9.json", "output JSON path (- for stdout)")
 	benchtime := flag.String("benchtime", "1s", "target run time per microbenchmark (go-test syntax: a duration, or Nx for a fixed iteration count)")
 	quick := flag.Bool("quick", false, "single-pass smoke mode: one iteration per benchmark, small soak")
 	soakVMs := flag.Int("soak-vms", 48, "fleet VMs per soak wave")
@@ -145,6 +147,8 @@ func main() {
 		{"wss-update", benchWSSUpdate},
 		{"topo-route", benchTopoRoute},
 		{"link-contention", benchLinkContention},
+		{"reliable-send", benchReliableSend},
+		{"retry-storm", benchRetryStorm},
 	} {
 		r := measure(b.name, benchDur, benchIters, b.fn)
 		fmt.Fprintf(os.Stderr, "%-20s %10d iters  %12.1f ns/op %10.1f B/op %8.2f allocs/op\n",
@@ -428,6 +432,65 @@ func benchLinkContention(n int) {
 		}
 	})
 	env.Run()
+}
+
+// benchReliableSend measures one acknowledged transport send on a clean
+// (but filter-installed) fabric per op: sequence bookkeeping, the data
+// frame, the ack round, and the pending-event wait — the per-message
+// protocol overhead the reliable layer adds under fault injection.
+func benchReliableSend(n int) {
+	env := sim.NewEnv()
+	fab := netsim.New(env, "bench", 1500*sim.Nanosecond, 56)
+	fab.SetFilter(passFilter{})
+	tr := reliable.New(env, fab, reliable.DefaultParams())
+	env.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			if err := tr.Send(p, 0, 1, 4096); err != nil {
+				panic(err)
+			}
+		}
+	})
+	env.Run()
+}
+
+// benchRetryStorm measures the transport's worst case: every message
+// loses its first frame, forcing a full RTO wait plus a retransmission.
+// One delivered-after-retry message per op — the cost model for loop
+// slowdown under drop storms.
+func benchRetryStorm(n int) {
+	env := sim.NewEnv()
+	fab := netsim.New(env, "bench", 1500*sim.Nanosecond, 56)
+	f := &dropEveryOther{}
+	fab.SetFilter(f)
+	p := reliable.DefaultParams()
+	p.RTOSlack = 10 * sim.Microsecond // keep virtual time bounded
+	tr := reliable.New(env, fab, p)
+	env.Spawn("sender", func(pr *sim.Proc) {
+		for i := 0; i < n; i++ {
+			if err := tr.Send(pr, 0, 1, 4096); err != nil {
+				panic(err)
+			}
+		}
+	})
+	env.Run()
+}
+
+// passFilter delivers everything but forces the transport off its
+// zero-fault fast path, so the full ack/seq machinery is measured.
+type passFilter struct{}
+
+func (passFilter) Outcome(from, to, size int) netsim.Outcome { return netsim.Outcome{} }
+
+// dropEveryOther drops data frames (0→1) on even counts: first attempt
+// lost, retransmit delivered. Acks (1→0) always pass.
+type dropEveryOther struct{ count int }
+
+func (d *dropEveryOther) Outcome(from, to, size int) netsim.Outcome {
+	if from == 0 && to == 1 {
+		d.count++
+		return netsim.Outcome{Drop: d.count%2 == 1}
+	}
+	return netsim.Outcome{}
 }
 
 // runFigure times one full figure experiment at quick scale.

@@ -215,24 +215,25 @@ func Restore(p *sim.Proc, vm *hypervisor.VM, img *Image) sim.Time {
 	return p.Now() - start
 }
 
-// sendChunk moves one collection/restore chunk over the fabric like a
-// reliable transport (RDMA RC / TCP): a frame lost to a drop rule or a
-// transient partition is retransmitted after a timeout, and when a peer's
-// crash is torn down at the transport level the chunk is re-homed — a
-// dead destination falls back to the origin slice (mirroring MarkDead's
-// re-homing of the memory itself), while a dead source or a dead
-// checkpoint node simply stops transmitting, since the bytes it would
-// have carried are already lost or unwanted. Returns the destination the
-// chunk actually went to, so callers stick to the re-homed peer.
+// sendChunk moves one collection/restore chunk over the cluster's
+// reliable transport (RDMA RC / TCP): frames lost to drop rules or
+// transient partitions are retransmitted by the transport's
+// ack/timeout/backoff state machine, and when a peer's crash is torn
+// down at the transport level the chunk is re-homed — a dead destination
+// falls back to the origin slice (mirroring MarkDead's re-homing of the
+// memory itself), while a dead source or a dead checkpoint node simply
+// stops transmitting, since the bytes it would have carried are already
+// lost or unwanted. A peer the transport declares unreachable
+// (ErrUnreachable after max retries) without being declared dead yet is
+// retried after a pause, so the liveness view gets a chance to catch up.
+// Returns the destination the chunk actually went to, so callers stick
+// to the re-homed peer.
 func sendChunk(p *sim.Proc, vm *hypervisor.VM, from, to int, size int) int {
-	fabric := vm.Config().Cluster.Fabric
+	rel := vm.Config().Cluster.Reliable
 	inj := vm.Config().Fault
-	env := vm.Env
-	tr := trace.FromEnv(env)
+	tr := trace.FromEnv(vm.Env)
 	csp := tr.Begin(p.Span(), trace.CatCheckpoint, from, "ckpt.chunk")
 	defer tr.End(csp)
-	rto := 2*fabric.Latency() + 8*fabric.TxTime(size) + 5*sim.Millisecond
-	backoff := 100 * sim.Microsecond
 	for {
 		if inj != nil {
 			if !inj.NodeAlive(to) {
@@ -249,14 +250,11 @@ func sendChunk(p *sim.Proc, vm *hypervisor.VM, from, to int, size int) int {
 		if from == to {
 			return to
 		}
-		ev := env.NewEvent()
-		fabric.SendCtx(csp, from, to, size, ev.Fire)
-		if p.WaitTimeout(ev, rto) {
+		if rel.SendCtx(p, csp, from, to, size, nil) == nil {
 			return to
 		}
-		p.Sleep(backoff)
-		if backoff < 2*sim.Millisecond {
-			backoff *= 2
-		}
+		// Unreachable: wait out a detection interval, then re-check the
+		// liveness view and retry (or re-home, once the peer is marked).
+		p.Sleep(5 * sim.Millisecond)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/netsim"
+	"repro/internal/reliable"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -68,7 +69,12 @@ type Cluster struct {
 	Nodes  []*Node
 	Fabric netsim.Fabric // inter-hypervisor network (InfiniBand)
 	Client *netsim.Net   // client-facing network (1 GbE)
-	Params Params
+	// Reliable is the shared ack/retransmit transport over Fabric for
+	// blocking bulk senders (checkpoint chunks, fleet probes). With no
+	// fault filter installed it degenerates to a raw fabric send, so
+	// zero-fault runs are unaffected by its existence.
+	Reliable *reliable.Transport
+	Params   Params
 }
 
 // New builds a cluster of n nodes with the given parameters.
@@ -89,10 +95,11 @@ func New(env *sim.Env, n int, p Params) *Cluster {
 		fabric = netsim.New(env, "fabric", p.FabricLat, p.FabricGbps)
 	}
 	c := &Cluster{
-		Env:    env,
-		Fabric: fabric,
-		Client: netsim.New(env, "client", p.EthLat, p.EthGbps),
-		Params: p,
+		Env:      env,
+		Fabric:   fabric,
+		Client:   netsim.New(env, "client", p.EthLat, p.EthGbps),
+		Reliable: reliable.New(env, fabric, reliable.DefaultParams()),
+		Params:   p,
 	}
 	for i := 0; i < n; i++ {
 		node := &Node{ID: i, RAM: p.RAMBytes, SSD: NewDisk(env, p.SSDBps)}

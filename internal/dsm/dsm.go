@@ -580,6 +580,7 @@ func (d *DSM) grantRead(p *sim.Proc, req faultReq) {
 		}
 	}
 	e.copyset[req.node] = true
+	d.reconcileOrigin(e, req.page)
 	d.sendGrant(p, req, data)
 }
 
@@ -649,6 +650,7 @@ func (d *DSM) grantWrite(p *sim.Proc, req faultReq) {
 
 	e.owner = req.node
 	e.copyset = map[int]bool{req.node: true}
+	d.reconcileOrigin(e, req.page)
 	d.sendGrant(p, req, data)
 }
 

@@ -80,6 +80,28 @@ func (d *DSM) callNode(p *sim.Proc, to int, kind string, size int, payload any) 
 	}
 }
 
+// reconcileOrigin re-settles the origin's replica record after a grant's
+// blocking steps. MarkDead cannot take page locks (it may run from a
+// timer callback), so when it re-homes a sole-owner page to the origin it
+// forces the origin's replica Exclusive under a lock someone else may
+// hold. The lock-holding grant that resumes afterwards supersedes that
+// fallback: once it has settled ownership, the origin's replica must
+// match the directory — invalid when the origin is outside the copyset,
+// at most Shared when it shares the page.
+func (d *DSM) reconcileOrigin(e *dirEntry, pg mem.PageID) {
+	lp, ok := d.local[d.origin][pg]
+	if !ok {
+		return
+	}
+	if !e.copyset[d.origin] {
+		lp.state = Invalid
+		return
+	}
+	if lp.state == Exclusive && (len(e.copyset) > 1 || e.owner != d.origin) {
+		lp.state = Shared
+	}
+}
+
 // reclaim re-homes a page whose owner died before its bytes could be
 // fetched: the origin becomes the owner using its own (possibly stale)
 // replica. Checkpoint restore is what restores lost contents.

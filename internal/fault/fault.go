@@ -70,6 +70,16 @@ const (
 	DegradeDisk
 	// HealDisk restores a node's SSD to full bandwidth.
 	HealDisk
+	// CutLink severs the named topology fault domain (see Event.Link):
+	// every fabric message whose route crosses a cut link is dropped, so
+	// cutting a ToR uplink silences a whole rack with one event.
+	CutLink
+	// HealLink restores the named fault domain, clearing both cuts and
+	// degradations on its links.
+	HealLink
+	// DegradeLink adds Delay of extra propagation latency to every
+	// message whose route crosses the named fault domain.
+	DegradeLink
 )
 
 // String names the kind for diagnostics and counters.
@@ -97,6 +107,12 @@ func (k Kind) String() string {
 		return "degrade-disk"
 	case HealDisk:
 		return "heal-disk"
+	case CutLink:
+		return "cut-link"
+	case HealLink:
+		return "heal-link"
+	case DegradeLink:
+		return "degrade-link"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -113,8 +129,18 @@ type Event struct {
 
 	From, To int      // message-rule endpoint scoping (Any = wildcard)
 	Count    int      // message-rule budget: how many messages it affects
-	Delay    sim.Time // DelayMessages extra latency
+	Delay    sim.Time // DelayMessages / DegradeLink extra latency
 	Factor   float64  // Degrade* magnitude
+
+	// Link names the fault domain of CutLink/HealLink/DegradeLink.
+	// Directed link names target one direction: "nX-up" (host X toward
+	// its switch), "nX-down" (switch toward host X), "torR-up" (rack R
+	// toward the spine), "torR-down" (spine toward rack R). Undirected
+	// domains expand to both directions: "nX" (host X's up+down links),
+	// "torR" (rack R's spine uplink+downlink), and "spine" (every rack's
+	// uplink and downlink — the whole core). On a flat or legacy fabric
+	// only the host domains exist; ToR/spine domains expand to nothing.
+	Link string
 }
 
 // Schedule is an ordered list of fault events. The zero value is an empty
@@ -176,6 +202,10 @@ func (s *Schedule) String() string {
 			out += fmt.Sprintf("%v %s node=%d factor=%.2f\n", e.At, e.Kind, e.Node, e.Factor)
 		case HealCPU, HealDisk:
 			out += fmt.Sprintf("%v %s node=%d\n", e.At, e.Kind, e.Node)
+		case CutLink, HealLink:
+			out += fmt.Sprintf("%v %s link=%s\n", e.At, e.Kind, e.Link)
+		case DegradeLink:
+			out += fmt.Sprintf("%v %s link=%s delay=%v\n", e.At, e.Kind, e.Link, e.Delay)
 		default:
 			out += fmt.Sprintf("%v %s\n", e.At, e.Kind)
 		}

@@ -35,6 +35,11 @@ type Injector struct {
 
 	crashed map[int]bool
 	parted  map[[2]int]bool
+	// Link-level fault domains (links.go): canonical name tables plus
+	// the currently cut and degraded directed links.
+	links    *linkNames
+	cutLinks map[string]bool
+	degLinks map[string]sim.Time
 	// dropRules and delayRules apply at the fabric; dupRules apply at the
 	// messaging layer (a duplicate must be a marked msg.Message so its
 	// Reply can be discarded).
@@ -56,17 +61,23 @@ type Injector struct {
 // per VM.
 func New(c *cluster.Cluster) *Injector {
 	i := &Injector{
-		env:     c.Env,
-		c:       c,
-		tr:      trace.FromEnv(c.Env),
-		crashed: make(map[int]bool),
-		parted:  make(map[[2]int]bool),
-		cpuDeg:  make(map[int]float64),
-		diskDeg: make(map[int]bool),
-		ctr:     metrics.NewCounters(),
+		env:      c.Env,
+		c:        c,
+		tr:       trace.FromEnv(c.Env),
+		crashed:  make(map[int]bool),
+		parted:   make(map[[2]int]bool),
+		links:    newLinkNames(c.Params.Topo, len(c.Nodes)),
+		cutLinks: make(map[string]bool),
+		degLinks: make(map[string]sim.Time),
+		cpuDeg:   make(map[int]float64),
+		diskDeg:  make(map[int]bool),
+		ctr:      metrics.NewCounters(),
 	}
 	c.Fabric.SetFilter(i)
 	c.Client.SetFilter(i)
+	// The reliable transport consults the injector for DupMessages rules
+	// on its data frames (fabric-level drops/delays apply regardless).
+	c.Reliable.SetFilter(i)
 	return i
 }
 
@@ -170,6 +181,22 @@ func (i *Injector) fire(e Event) {
 	case HealDisk:
 		delete(i.diskDeg, e.Node)
 		i.c.Node(e.Node).SSD.SetSlowdown(1)
+	case CutLink:
+		for _, l := range i.links.expand(e.Link) {
+			i.cutLinks[l] = true
+		}
+	case HealLink:
+		for _, l := range i.links.expand(e.Link) {
+			delete(i.cutLinks, l)
+			delete(i.degLinks, l)
+		}
+	case DegradeLink:
+		if e.Delay <= 0 {
+			panic(fmt.Sprintf("fault: DegradeLink delay %v must be positive", e.Delay))
+		}
+		for _, l := range i.links.expand(e.Link) {
+			i.degLinks[l] += e.Delay
+		}
 	default:
 		panic(fmt.Sprintf("fault: unknown event kind %v", e.Kind))
 	}
@@ -187,8 +214,10 @@ func take(rules []*rule, from, to int) *rule {
 }
 
 // Outcome implements netsim.Filter: crash and partition state silences
-// endpoints; drop/delay rules consume their next-K budgets in delivery
-// order, which keeps replays deterministic.
+// endpoints, cut links drop everything routed across them, and
+// drop/delay rules consume their next-K budgets in delivery order, which
+// keeps replays deterministic. Degraded links add their delay on top of
+// any delay rule.
 func (i *Injector) Outcome(from, to, size int) netsim.Outcome {
 	if i.crashed[from] || i.crashed[to] {
 		i.ctr.Inc("drop.crashed", 1)
@@ -198,15 +227,25 @@ func (i *Injector) Outcome(from, to, size int) netsim.Outcome {
 		i.ctr.Inc("drop.partitioned", 1)
 		return netsim.Outcome{Drop: true}
 	}
+	cut, linkDelay := i.linkVerdict(from, to)
+	if cut {
+		i.ctr.Inc("drop.link-cut", 1)
+		return netsim.Outcome{Drop: true}
+	}
 	if r := take(i.dropRules, from, to); r != nil {
 		i.ctr.Inc("drop.rule", 1)
 		return netsim.Outcome{Drop: true}
 	}
+	var delay sim.Time
 	if r := take(i.delayRules, from, to); r != nil {
 		i.ctr.Inc("delay.rule", 1)
-		return netsim.Outcome{Delay: r.delay}
+		delay = r.delay
 	}
-	return netsim.Outcome{}
+	if linkDelay > 0 {
+		i.ctr.Inc("delay.link", 1)
+		delay += linkDelay
+	}
+	return netsim.Outcome{Delay: delay}
 }
 
 // MsgOutcome implements msg.Filter: same-node deliveries on a crashed node
@@ -221,9 +260,11 @@ func (i *Injector) MsgOutcome(from, to int, service, kind string) msg.MsgOutcome
 		return out
 	}
 	if from != to && !i.crashed[from] && !i.crashed[to] && !i.parted[linkKey(from, to)] {
-		if r := take(i.dupRules, from, to); r != nil {
-			i.ctr.Inc("dup.rule", 1)
-			out.Duplicate = true
+		if cut, _ := i.linkVerdict(from, to); !cut {
+			if r := take(i.dupRules, from, to); r != nil {
+				i.ctr.Inc("dup.rule", 1)
+				out.Duplicate = true
+			}
 		}
 	}
 	return out

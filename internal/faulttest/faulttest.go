@@ -24,7 +24,9 @@ import (
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
 	"repro/internal/msg"
+	"repro/internal/reliable"
 	"repro/internal/sim"
+	"repro/internal/topo"
 	"repro/internal/vcpu"
 	"repro/internal/workload"
 )
@@ -36,6 +38,12 @@ type Scenario struct {
 	Nodes    int
 	VCPUs    int
 	MemBytes int64
+
+	// Topo selects the fabric model (cluster.Params.Topo): nil keeps the
+	// legacy flat netsim fabric; a tree spec routes DSM and checkpoint
+	// traffic over racks and a spine, which is what link-level fault
+	// domains (CutLink "tor1", ...) act on.
+	Topo *topo.Spec
 
 	Kernel string  // NPB kernel run on every vCPU
 	Scale  float64 // workload scale factor
@@ -67,6 +75,12 @@ type Scenario struct {
 	HeartbeatInterval sim.Time
 	HeartbeatTimeout  sim.Time
 	HeartbeatOff      bool
+
+	// ExpectDeaths is how many heartbeat death declarations the driver
+	// waits for before stopping the detector. 0 derives it from the
+	// schedule's CrashNode count — link-cut schedules, whose deaths are
+	// not crashes, must set it explicitly.
+	ExpectDeaths int
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -115,6 +129,7 @@ type Result struct {
 
 	DSM       dsm.Stats      // aggregate protocol stats
 	MsgFaults msg.FaultStats // messaging-layer fault stats
+	Reliable  reliable.Stats // ack/retransmit transport stats (checkpoint chunks)
 	Counters  string         // injector counters rendering
 }
 
@@ -137,6 +152,7 @@ func (r *Result) Metrics() string {
 	}
 	fmt.Fprintf(&b, "dsm=%+v\n", r.DSM)
 	fmt.Fprintf(&b, "msg=%+v\n", r.MsgFaults)
+	fmt.Fprintf(&b, "reliable=%+v\n", r.Reliable)
 	fmt.Fprintf(&b, "counters: %s\n", r.Counters)
 	return b.String()
 }
@@ -156,7 +172,9 @@ func patternBytes(seed, i int64) []byte {
 func Run(s Scenario) *Result {
 	s = s.withDefaults()
 	env := sim.NewEnv()
-	c := cluster.NewDefault(env, s.Nodes)
+	params := cluster.DefaultParams()
+	params.Topo = s.Topo
+	c := cluster.New(env, s.Nodes, params)
 	inj := fault.New(c)
 
 	nodes := make([]int, s.Nodes)
@@ -169,7 +187,10 @@ func Run(s Scenario) *Result {
 	vm := hypervisor.New(cfg)
 
 	res := &Result{}
-	expectedCrashes := s.Schedule.Count(fault.CrashNode)
+	expectedDeaths := s.ExpectDeaths
+	if expectedDeaths == 0 {
+		expectedDeaths = s.Schedule.Count(fault.CrashNode)
+	}
 
 	env.Spawn("faulttest.driver", func(p *sim.Proc) {
 		vm.Boot(p)
@@ -226,7 +247,7 @@ func Run(s Scenario) *Result {
 				}
 				res.Recovered = append(res.Recovered, hp.Now()-start)
 				recoveries++
-				if recoveries == expectedCrashes {
+				if recoveries == expectedDeaths {
 					recoveredAll.Fire()
 				}
 			})
@@ -246,7 +267,7 @@ func Run(s Scenario) *Result {
 			done = append(done, wp.Done())
 		}
 		p.WaitAll(done...)
-		if expectedCrashes > 0 && !s.HeartbeatOff {
+		if expectedDeaths > 0 && !s.HeartbeatOff {
 			p.Wait(recoveredAll)
 		}
 		vm.StopHeartbeat()
@@ -277,6 +298,7 @@ func Run(s Scenario) *Result {
 	res.LiveProcs = env.LiveProcs()
 	res.DSM = vm.DSM.TotalStats()
 	res.MsgFaults = vm.Layer.FaultStats()
+	res.Reliable = c.Reliable.Stats()
 	res.Counters = inj.Counters().String()
 	return res
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // TestFaultFreeBaseline: the harness itself must pass cleanly with an
@@ -120,6 +121,105 @@ func TestRandomCrashSchedules(t *testing.T) {
 				t.Fatalf("crash never detected under schedule:\n%s", sched.String())
 			}
 		})
+	}
+}
+
+// TestTorCutRecovery: cutting rack 1's ToR uplink on a tree fabric takes
+// both of its nodes unreachable as one event. The dataset is sized so
+// that one checkpoint restore (~135 ms) far outlasts the 38 ms cut
+// window: if the detector declared the first death and then blocked in
+// its recovery before probing the second node — the pre-batching
+// behavior — the link would heal before that node was ever probed
+// again, its pings would succeed, and the driver would hang waiting for
+// a death that never comes. Batch detection (ping all, declare all,
+// then recover all) must declare both in the same heartbeat tick.
+func TestTorCutRecovery(t *testing.T) {
+	var cut fault.Schedule
+	cut.Add(fault.Event{At: 2 * sim.Millisecond, Kind: fault.CutLink, Link: "tor1"})
+	cut.Add(fault.Event{At: 40 * sim.Millisecond, Kind: fault.HealLink, Link: "tor1"})
+	res := Run(Scenario{
+		Topo:         topo.TreeSpec(2, 2, 4),
+		Seed:         42,
+		Scale:        0.005,
+		Schedule:     cut,
+		Checkpoint:   true,
+		DatasetBytes: 64 << 20,
+		ExpectDeaths: 2,
+	})
+	if !res.Ok() {
+		t.Fatalf("tor-cut run failed:\n%s", res.Metrics())
+	}
+	if len(res.DeadAt) != 2 {
+		t.Fatalf("expected both rack-1 nodes declared dead, got %v", res.DeadAt)
+	}
+	for _, n := range res.DeadAt {
+		if n != 2 && n != 3 {
+			t.Fatalf("node %d declared dead but only nodes 2,3 are behind tor1 (dead=%v)", n, res.DeadAt)
+		}
+	}
+	if len(res.Recovered) != 2 {
+		t.Fatalf("expected 2 recoveries, got %v", res.Recovered)
+	}
+	// The second node's recovery callback runs after the heal (the first
+	// restore outlasts the cut window), which is only possible if its
+	// death was declared in the same pre-heal batch as the first: a
+	// fresh post-heal probe would have succeeded and never declared it.
+	if res.Detected[1] <= 38*sim.Millisecond {
+		t.Fatalf("second recovery at %v expected after the 40ms heal (restore should outlast the cut)", res.Detected[1])
+	}
+}
+
+// TestConcurrentCrashesDetectedTogether: two nodes fail-stopping at the
+// same instant must both be detected even though each recovery blocks
+// the detector proc for a long checkpoint restore.
+func TestConcurrentCrashesDetectedTogether(t *testing.T) {
+	var sched fault.Schedule
+	sched.Add(fault.Event{At: 2 * sim.Millisecond, Kind: fault.CrashNode, Node: 2})
+	sched.Add(fault.Event{At: 2 * sim.Millisecond, Kind: fault.CrashNode, Node: 3})
+	res := Run(Scenario{
+		Topo:         topo.TreeSpec(2, 2, 4),
+		Seed:         42,
+		Scale:        0.005,
+		Schedule:     sched,
+		Checkpoint:   true,
+		DatasetBytes: 4 << 20,
+	})
+	if !res.Ok() {
+		t.Fatalf("double-crash run failed:\n%s", res.Metrics())
+	}
+	if len(res.DeadAt) != 2 || len(res.Recovered) != 2 {
+		t.Fatalf("expected 2 deaths and 2 recoveries, got dead=%v recovered=%v", res.DeadAt, res.Recovered)
+	}
+}
+
+// TestDropStormBlackoutRecovers: an Any→Any drop budget that outlasts
+// the workload's sparse fabric traffic is a sustained blackout — every
+// blocking sender and every heartbeat ping it touches is lost. The run
+// must still terminate: the detector declares the unreachable lenders
+// dead and the checkpoint restores run over the reliable transport
+// through the residual storm. This is the schedule that wedged blocking
+// senders forever before the transport existed.
+func TestDropStormBlackoutRecovers(t *testing.T) {
+	var storm fault.Schedule
+	storm.Add(fault.Event{At: sim.Millisecond, Kind: fault.DropMessages, From: fault.Any, To: fault.Any, Count: 300})
+	storm.Add(fault.Event{At: 3 * sim.Millisecond, Kind: fault.DropMessages, From: fault.Any, To: fault.Any, Count: 300})
+	res := Run(Scenario{
+		Topo:         topo.TreeSpec(2, 2, 4),
+		Seed:         42,
+		Scale:        0.005,
+		Schedule:     storm,
+		Checkpoint:   true,
+		DatasetBytes: 4 << 20,
+		ExpectDeaths: 3,
+	})
+	if len(res.LiveProcs) != 0 {
+		t.Fatalf("blackout storm wedged the stack: %v\n%s", res.LiveProcs, res.Metrics())
+	}
+	if res.CoherenceErr != nil {
+		t.Fatalf("DSM incoherent after blackout recovery: %v", res.CoherenceErr)
+	}
+	if len(res.PatternMismatches) != 0 {
+		t.Fatalf("guest memory diverged after blackout recovery:\n%v", res.PatternMismatches)
 	}
 }
 

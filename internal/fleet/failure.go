@@ -15,9 +15,24 @@ import (
 	"repro/internal/sim"
 )
 
-// armHeartbeat schedules the liveness poll against the fault injector.
+// probeBytes is the size of one heartbeat probe message, and
+// probeMissThreshold the consecutive unreachable probes that declare a
+// node down on message evidence alone (mirroring the hypervisor
+// heartbeat's miss threshold).
+const (
+	probeBytes         = 128
+	probeMissThreshold = 2
+)
+
+// armHeartbeat starts failure detection against the fault injector: a
+// timer-driven view poll by default, or a probing process when a
+// reliable transport is configured.
 func (f *Fleet) armHeartbeat() {
 	if f.cfg.Fault == nil || f.cfg.HeartbeatEvery <= 0 {
+		return
+	}
+	if f.cfg.Probe != nil {
+		f.env.Spawn("fleet-heartbeat", f.probeLoop)
 		return
 	}
 	var tick func()
@@ -31,18 +46,57 @@ func (f *Fleet) armHeartbeat() {
 	f.hbTimer = f.env.After(f.cfg.HeartbeatEvery, tick)
 }
 
-// heartbeat reconciles the fleet's node view with the injector's.
+// heartbeat reconciles the fleet's node view with the injector's quorum
+// reachability view: a node is down when it crashed or when a majority
+// of its live peers cannot reach it — so partitions and link cuts
+// trigger the same restart/requeue recovery as crashes.
 func (f *Fleet) heartbeat() {
 	for n := 0; n < f.cfg.Nodes; n++ {
-		alive := fault.Alive(f.cfg.Fault, n)
+		up := fault.Up(f.cfg.Fault, n, f.cfg.Nodes)
 		switch {
-		case !alive && !f.down[n]:
+		case !up && !f.down[n]:
 			f.handleNodeDown(n)
-		case alive && f.down[n]:
+		case up && f.down[n]:
 			f.handleNodeUp(n)
 		}
 	}
 	f.verify()
+}
+
+// probeLoop is the message-based heartbeat: each tick sends a reliable
+// probe to every node the quorum view considers up; a node whose probes
+// come back unreachable probeMissThreshold times in a row is declared
+// down on message evidence even before the view agrees, and a recovered
+// node rejoins once a probe gets through again. Probes ride the same
+// lossy fabric as everything else, so a drop storm can (correctly)
+// produce false positives that heal on the next successful probe.
+func (f *Fleet) probeLoop(p *sim.Proc) {
+	misses := make([]int, f.cfg.Nodes)
+	for {
+		p.Sleep(f.cfg.HeartbeatEvery)
+		if f.stopped || (f.cfg.Horizon > 0 && f.env.Now() > f.cfg.Horizon) {
+			return
+		}
+		for n := 0; n < f.cfg.Nodes; n++ {
+			up := fault.Up(f.cfg.Fault, n, f.cfg.Nodes)
+			if up {
+				if f.cfg.Probe.Send(p, f.cfg.ProbeFrom, n, probeBytes) != nil {
+					misses[n]++
+					f.stats.ProbeMisses++
+				} else {
+					misses[n] = 0
+				}
+			}
+			down := !up || misses[n] >= probeMissThreshold
+			switch {
+			case down && !f.down[n]:
+				f.handleNodeDown(n)
+			case !down && f.down[n]:
+				f.handleNodeUp(n)
+			}
+		}
+		f.verify()
+	}
 }
 
 // handleNodeDown fail-stops a node in the fleet's books: every fragment

@@ -42,6 +42,7 @@ import (
 	"repro/internal/balloon"
 	"repro/internal/cluster"
 	"repro/internal/fault"
+	"repro/internal/reliable"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -162,8 +163,24 @@ type Config struct {
 	// Horizon stops periodic ticks from rescheduling past this time so
 	// the event queue can drain (0 = tick until Stop is called).
 	Horizon sim.Time
-	// Fault, when set, is the liveness source for the heartbeat.
+	// Fault, when set, is the liveness source for the heartbeat. The
+	// heartbeat judges nodes with the injector's quorum reachability
+	// view (fault.Up), so a node cut off by a partition or a link cut is
+	// detected and recovered like a crashed one.
 	Fault *fault.Injector
+	// Probe, when set alongside Fault, upgrades the heartbeat to real
+	// probe messages on the reliable transport: each tick probes every
+	// node the view considers up, and probeMissThreshold consecutive
+	// unreachable verdicts declare the node down on message evidence
+	// alone. Zero keeps the pure view-based heartbeat (and its timing)
+	// unchanged.
+	Probe *reliable.Transport
+	// ProbeFrom is the fabric endpoint the controller probes from —
+	// conventionally the node hosting the control plane (node 0). On a
+	// tree topology it must be a real node id (external endpoints are
+	// not routable on the datacenter tree); probes to ProbeFrom itself
+	// short-circuit locally and are always answered.
+	ProbeFrom int
 	// Distance, when set, is the topology oracle (topo.Spec.Distance):
 	// admission, borrowing, and consolidation prefer rack-local node
 	// sets wherever the capacity policy leaves a tie, and gangs are
@@ -205,6 +222,7 @@ type Stats struct {
 
 	NodeFailures int // node-down transitions observed
 	Restarts     int // lost fragments re-placed on survivors
+	ProbeMisses  int // heartbeat probes that came back unreachable
 
 	Inflations    int      // resize: balloon inflations (fragments surrendered)
 	Deflations    int      // resize: balloon deflations (capacity re-granted)

@@ -228,6 +228,61 @@ func TestNodeFailureRestartsFragments(t *testing.T) {
 	f.Verify()
 }
 
+// TestLinkCutNodeDownAndRejoin is the partition-blindness regression:
+// a node whose host links are cut never crashes, but the quorum
+// reachability view must still declare it down — fragments restart on
+// the survivors exactly like a crash — and when the link heals the node
+// must rejoin and serve placements again.
+func TestLinkCutNodeDownAndRejoin(t *testing.T) {
+	env := sim.NewEnv()
+	c := cluster.NewDefault(env, 3)
+	inj := fault.New(c)
+	cfg := ClusterConfig(c, sched.MinFrag)
+	cfg.Fault = inj
+	cfg.HeartbeatEvery = 100 * sim.Millisecond
+	cfg.Horizon = 60 * sim.Second
+	f := New(env, cfg)
+	f.Submit([]Request{
+		{ID: 1, VCPUs: 6, MemBytes: 4 * gig, Arrival: 0, Duration: 30 * sim.Second},
+		{ID: 2, VCPUs: 4, MemBytes: 2 * gig, Arrival: 1, Duration: 30 * sim.Second},
+		// Arrives while node 1 is down, sized so it needs the healed
+		// node: 3 nodes × 8 cores, VMs 1+2 hold 10, this wants 12.
+		{ID: 3, VCPUs: 12, MemBytes: 4 * gig, Arrival: 15 * sim.Second, Duration: 10 * sim.Second},
+	})
+	var sch fault.Schedule
+	sch.Add(fault.Event{At: 10 * sim.Second, Kind: fault.CutLink, Link: "n1"})
+	sch.Add(fault.Event{At: 20 * sim.Second, Kind: fault.HealLink, Link: "n1"})
+	inj.Apply(sch)
+	// Stop mid-flight, after the heal admits VM 3 but before it finishes.
+	env.RunUntil(25 * sim.Second)
+
+	st := f.Stats()
+	if st.NodeFailures != 1 {
+		t.Fatalf("node failures = %d, want 1 (link cut must count like a crash)", st.NodeFailures)
+	}
+	if inj.NodeAlive(1) == false {
+		t.Fatal("cut node must never be marked crashed")
+	}
+	var downs, ups int
+	for _, ev := range f.Events() {
+		switch ev.Kind {
+		case "node-down":
+			downs++
+		case "node-up":
+			ups++
+		}
+	}
+	if downs != 1 || ups != 1 {
+		t.Fatalf("saw %d node-down / %d node-up events, want 1 each", downs, ups)
+	}
+	// The healed node is back in service: the VM that could only fit
+	// with node 1's capacity must be running on it.
+	if pl := f.PlacementOf(3); pl == nil || pl[1] == 0 {
+		t.Fatalf("post-heal VM not placed on the rejoined node: %v", pl)
+	}
+	f.Verify()
+}
+
 func TestSameSeedIdenticalEventLog(t *testing.T) {
 	run := func() []Event {
 		env := sim.NewEnv()

@@ -66,6 +66,14 @@ func (vm *VM) MarkDead(node int) {
 // may block — recovery runs in the detector's process). The detector loops
 // until StopHeartbeat, so a test that drives the event loop directly must
 // stop it or the simulation never drains.
+//
+// Detection is batched per tick: every live companion is pinged before any
+// newly-missing slice is declared and recovered. Recovery can block for a
+// long time (a checkpoint restore moves the whole image), and declaring
+// mid-loop would starve detection of the other slices lost to the same
+// event — a rack cut kills several at once, and a detector that recovers
+// the first before even probing the second may find the fault healed and
+// never declare it, deadlocking anything waiting on the full death count.
 func (vm *VM) StartHeartbeat(interval, timeout sim.Time, onFailure func(p *sim.Proc, node int)) {
 	if interval <= 0 || timeout <= 0 {
 		panic("hypervisor: heartbeat needs a positive interval and timeout")
@@ -80,6 +88,7 @@ func (vm *VM) StartHeartbeat(interval, timeout sim.Time, onFailure func(p *sim.P
 			if vm.hbStop {
 				return
 			}
+			var lost []int
 			for _, n := range vm.nodes[1:] {
 				if vm.dead[n] {
 					continue
@@ -88,14 +97,23 @@ func (vm *VM) StartHeartbeat(interval, timeout sim.Time, onFailure func(p *sim.P
 					misses[n]++
 					vm.ctr.Inc("hb.miss", 1)
 					if misses[n] >= hbMissThreshold {
-						vm.ctr.Inc("hb.declared_dead", 1)
-						vm.MarkDead(n)
-						if onFailure != nil {
-							onFailure(p, n)
-						}
+						lost = append(lost, n)
 					}
 				} else {
 					misses[n] = 0
+				}
+			}
+			// Declare the whole batch before recovering any member: the
+			// survivors' view is settled first, so recovery (which may send
+			// to every alive slice) never targets a slice that is about to
+			// be declared dead.
+			for _, n := range lost {
+				vm.ctr.Inc("hb.declared_dead", 1)
+				vm.MarkDead(n)
+			}
+			for _, n := range lost {
+				if onFailure != nil {
+					onFailure(p, n)
 				}
 			}
 		}

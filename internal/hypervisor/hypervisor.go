@@ -76,8 +76,9 @@ type Config struct {
 
 	// Fault, when set, wires the VM for fault injection: the injector
 	// filters the messaging layer, serves as the DSM's liveness view, and
-	// shares its counters with the VM's recovery accounting. Set
-	// DSM.Retry too, or lost protocol messages deadlock the VM.
+	// shares its counters with the VM's recovery accounting. A zero
+	// DSM.Retry defaults to msg.DefaultRetryPolicy so lost protocol
+	// messages are retransmitted instead of deadlocking the VM.
 	Fault *fault.Injector
 }
 
@@ -185,6 +186,13 @@ func New(cfg Config) *VM {
 		}
 	}
 
+	if cfg.Fault != nil && cfg.DSM.Retry.Timeout <= 0 {
+		// Fault injection without an explicit DSM retry policy would let
+		// one dropped protocol message block a vCPU forever (the fill
+		// wait has no timeout). Default to the standard policy; callers
+		// can still override with their own.
+		cfg.DSM.Retry = msg.DefaultRetryPolicy()
+	}
 	vm := &VM{Env: env, Layer: layer, Layout: &mem.Layout{}, cfg: cfg, nodes: nodes,
 		dead: make(map[int]bool), ctr: metrics.NewCounters(), tr: trace.FromEnv(env)}
 	vm.DSM = dsm.New(env, layer, nodes, cfg.DSM)

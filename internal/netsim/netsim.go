@@ -50,8 +50,18 @@ type Fabric interface {
 	// TxTime returns the serialization time for size bytes at an edge
 	// (host) link.
 	TxTime(size int) sim.Time
+	// PathTime returns the uncontended one-way delivery time for size
+	// bytes from one endpoint to another: every link on the route charged
+	// at its own bandwidth plus its propagation latency, store-and-forward.
+	// Protocol timeout models (the reliable transport's RTO) build on it;
+	// actual deliveries can only be later, by queueing.
+	PathTime(from, to int, size int) sim.Time
 	// SetFilter installs (or, with nil, removes) the fault filter.
 	SetFilter(f Filter)
+	// Filter returns the installed fault filter (nil when none). The
+	// reliable transport keys its zero-fault fast path on this: no filter
+	// means nothing can be lost, so no acks need to be charged.
+	Filter() Filter
 	// Send transmits size bytes and invokes deliver at arrival time;
 	// deliver may be nil for fire-and-forget accounting. Returns the
 	// delivery time.
@@ -59,8 +69,10 @@ type Fabric interface {
 	// SendCtx is Send with a causal tracing parent span.
 	SendCtx(span int64, from, to int, size int, deliver func()) sim.Time
 	// SendAndWait transmits like Send but blocks the calling process
-	// until delivery.
-	SendAndWait(p *sim.Proc, from, to int, size int)
+	// until the message resolves. It reports whether the message was
+	// delivered: a fault-filter drop resolves the wait at the would-be
+	// arrival time and returns false instead of blocking forever.
+	SendAndWait(p *sim.Proc, from, to int, size int) bool
 	// Stats returns a copy of the fabric-wide traffic counters.
 	Stats() Stats
 	// Endpoints returns the ids of every endpoint that has sent, ascending.
@@ -134,8 +146,17 @@ func (n *Net) TxTime(size int) sim.Time {
 	return sim.FromSeconds(float64(size) / n.bps)
 }
 
+// PathTime returns the uncontended one-way delivery time between two
+// endpoints: the flat fabric's single shared-switch hop.
+func (n *Net) PathTime(from, to int, size int) sim.Time {
+	return n.TxTime(size) + n.latency
+}
+
 // SetFilter installs (or, with nil, removes) the fabric's fault filter.
 func (n *Net) SetFilter(f Filter) { n.filter = f }
+
+// Filter returns the installed fault filter, or nil.
+func (n *Net) Filter() Filter { return n.filter }
 
 // Send transmits size bytes from one endpoint to another and invokes
 // deliver at the receiver once the message arrives. deliver may be nil for
@@ -154,6 +175,13 @@ func (n *Net) Send(from, to int, size int, deliver func()) sim.Time {
 // is recorded as a network span under the given parent. Span 0 (and an
 // untraced environment) make it identical to Send.
 func (n *Net) SendCtx(span int64, from, to int, size int, deliver func()) sim.Time {
+	arrive, _ := n.send(span, from, to, size, deliver)
+	return arrive
+}
+
+// send is the SendCtx body, additionally reporting whether the message
+// survived the fault filter. Dropped messages never schedule deliver.
+func (n *Net) send(span int64, from, to int, size int, deliver func()) (sim.Time, bool) {
 	now := n.env.Now()
 	egress := n.nic(from)
 	start := egress.nextFree
@@ -174,7 +202,7 @@ func (n *Net) SendCtx(span int64, from, to int, size int, deliver func()) sim.Ti
 		o := n.filter.Outcome(from, to, size)
 		if o.Drop {
 			n.stats.Dropped++
-			return arrive
+			return arrive, false
 		}
 		if o.Delay > 0 {
 			n.stats.Delayed++
@@ -186,15 +214,22 @@ func (n *Net) SendCtx(span int64, from, to int, size int, deliver func()) sim.Ti
 		// above, before scheduling), so no Timer handle is needed.
 		n.env.DeferAt(arrive, deliver)
 	}
-	return arrive
+	return arrive, true
 }
 
 // SendAndWait transmits like Send but blocks the calling process until the
-// message has been delivered.
-func (n *Net) SendAndWait(p *sim.Proc, from, to int, size int) {
+// message resolves, reporting whether it was delivered. A fault-filter drop
+// still wakes the sender at the would-be arrival time — the NIC was charged
+// and the frame is simply gone — so a blocking send can never wedge a proc
+// for the rest of the run.
+func (n *Net) SendAndWait(p *sim.Proc, from, to int, size int) bool {
 	ev := n.env.NewEvent()
-	n.Send(from, to, size, ev.Fire)
+	arrive, delivered := n.send(0, from, to, size, ev.Fire)
+	if !delivered {
+		n.env.DeferAt(arrive, ev.Fire)
+	}
 	p.Wait(ev)
+	return delivered
 }
 
 // Stats returns a copy of the fabric-wide counters.
@@ -212,9 +247,13 @@ func (n *Net) Endpoints() []int {
 }
 
 // EndpointSent returns the number of messages and bytes sent by an endpoint.
+// A pure read: an id that never sent reports zeros without inserting a NIC
+// record, so probing cannot grow Endpoints().
 func (n *Net) EndpointSent(id int) (msgs, bytes int64) {
-	e := n.nic(id)
-	return e.sent, e.bytes
+	if e, ok := n.nics[id]; ok {
+		return e.sent, e.bytes
+	}
+	return 0, 0
 }
 
 func (n *Net) nic(id int) *nic {

@@ -71,6 +71,75 @@ func TestSendAndWait(t *testing.T) {
 	}
 }
 
+// TestSendAndWaitDropResolves is the root-cause regression for the
+// fault-path deadlock: a blocking send whose frame the fault filter
+// drops must still wake at the would-be arrival time and report false —
+// an Any→Any drop storm can cost time, never a wedged proc.
+func TestSendAndWaitDropResolves(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, "eth", 100*sim.Microsecond, 1)
+	n.SetFilter(&scriptFilter{outcomes: []Outcome{
+		{Drop: true}, {Drop: true}, {Drop: true}, {},
+	}})
+	var results []bool
+	var times []sim.Time
+	env.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			results = append(results, n.SendAndWait(p, 0, 1, 125000))
+			times = append(times, p.Now())
+		}
+	})
+	env.Run()
+	if live := env.LiveProcs(); len(live) != 0 {
+		t.Fatalf("drop storm wedged the sender: %v", live)
+	}
+	want := []bool{false, false, false, true}
+	for i, r := range results {
+		if r != want[i] {
+			t.Fatalf("send %d delivered=%v, want %v", i, r, want[i])
+		}
+	}
+	// Each send (dropped or not) costs serialization + latency: the
+	// sender wakes at the would-be arrival time, 1.1 ms per message.
+	for i, at := range times {
+		if want := sim.Time(i+1) * (sim.Millisecond + 100*sim.Microsecond); at != want {
+			t.Fatalf("send %d resolved at %v, want %v", i, at, want)
+		}
+	}
+}
+
+// TestEndpointSentPureRead: probing an endpoint that never sent must
+// report zeros without manufacturing a NIC record — a monitoring read
+// that grows Endpoints() corrupts per-node traffic reports.
+func TestEndpointSentPureRead(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, "ib", 0, 56)
+	n.Send(0, 1, 100, nil)
+	env.Run()
+	if msgs, bytes := n.EndpointSent(42); msgs != 0 || bytes != 0 {
+		t.Fatalf("phantom endpoint reported %d msgs %d bytes", msgs, bytes)
+	}
+	if eps := n.Endpoints(); len(eps) != 1 || eps[0] != 0 {
+		t.Fatalf("probing EndpointSent(42) grew Endpoints() to %v", eps)
+	}
+}
+
+// TestPathTimeFlat: on the flat fabric, path time is one serialization
+// plus the fabric latency, and matches an uncontended delivery exactly.
+func TestPathTimeFlat(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, "ib", 1500*sim.Nanosecond, 56)
+	if got, want := n.PathTime(0, 1, 7000), n.TxTime(7000)+n.Latency(); got != want {
+		t.Fatalf("PathTime = %v, want %v", got, want)
+	}
+	var arrived sim.Time
+	n.Send(0, 1, 7000, func() { arrived = env.Now() })
+	env.Run()
+	if arrived != n.PathTime(0, 1, 7000) {
+		t.Fatalf("uncontended delivery at %v, PathTime says %v", arrived, n.PathTime(0, 1, 7000))
+	}
+}
+
 func TestStats(t *testing.T) {
 	env := sim.NewEnv()
 	n := New(env, "ib", 0, 56)

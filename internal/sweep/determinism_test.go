@@ -133,6 +133,11 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 			Seeds:       sweep.Seeds(42, 4),
 			Topo:        mustTopo("tree:2x2@4"),
 		}, true},
+		{"netstorm", experiments.SweepSpec{
+			Experiments: []string{"netstorm"},
+			Scales:      []float64{0.02},
+			Seeds:       sweep.Seeds(42, 2),
+		}, true},
 	}
 	for _, k := range kinds {
 		k := k

@@ -304,6 +304,9 @@ func (f *Fabric) TxTime(size int) sim.Time {
 // SetFilter installs (or, with nil, removes) the fabric's fault filter.
 func (f *Fabric) SetFilter(flt netsim.Filter) { f.filter = flt }
 
+// Filter returns the installed fault filter, or nil.
+func (f *Fabric) Filter() netsim.Filter { return f.filter }
+
 // Distance returns the number of links on the (from, to) path.
 func (f *Fabric) Distance(from, to int) int { return f.spec.Distance(from, to) }
 
@@ -316,6 +319,22 @@ func (f *Fabric) PathLatency(from, to int) sim.Time {
 		total += l.lat
 	}
 	return total
+}
+
+// PathTime returns the uncontended one-way delivery time for size bytes
+// from one endpoint to another: each link on the route charged at its
+// own bandwidth (so an oversubscribed uplink costs what it actually
+// costs) plus its latency, store-and-forward. Queueing can only add to
+// it — protocol timeout models treat it as the floor.
+func (f *Fabric) PathTime(from, to int, size int) sim.Time {
+	if size < 0 {
+		panic("topo: negative message size")
+	}
+	var t sim.Time
+	for _, l := range f.route(from, to) {
+		t += sim.FromSeconds(float64(size)/l.bps) + l.lat
+	}
+	return t
 }
 
 // PathGbps returns the bottleneck bandwidth of the (from, to) path in
@@ -382,6 +401,13 @@ func (f *Fabric) Send(from, to int, size int, deliver func()) sim.Time {
 // message after the path has been charged: the sender cannot know the
 // fabric lost its frame.
 func (f *Fabric) SendCtx(span int64, from, to int, size int, deliver func()) sim.Time {
+	arrive, _ := f.send(span, from, to, size, deliver)
+	return arrive
+}
+
+// send is the SendCtx body, additionally reporting whether the message
+// survived the fault filter. Dropped messages never schedule deliver.
+func (f *Fabric) send(span int64, from, to int, size int, deliver func()) (sim.Time, bool) {
 	t := f.env.Now()
 	for _, l := range f.route(from, to) {
 		start := l.nextFree
@@ -408,7 +434,7 @@ func (f *Fabric) SendCtx(span int64, from, to int, size int, deliver func()) sim
 		o := f.filter.Outcome(from, to, size)
 		if o.Drop {
 			f.stats.Dropped++
-			return arrive
+			return arrive, false
 		}
 		if o.Delay > 0 {
 			f.stats.Delayed++
@@ -418,15 +444,22 @@ func (f *Fabric) SendCtx(span int64, from, to int, size int, deliver func()) sim
 	if deliver != nil {
 		f.env.DeferAt(arrive, deliver)
 	}
-	return arrive
+	return arrive, true
 }
 
 // SendAndWait transmits like Send but blocks the calling process until
-// the message has been delivered.
-func (f *Fabric) SendAndWait(p *sim.Proc, from, to int, size int) {
+// the message resolves, reporting whether it was delivered. A fault-filter
+// drop still wakes the sender at the would-be arrival time — the path was
+// charged and the frame is simply gone — so a blocking send can never
+// wedge a proc for the rest of the run.
+func (f *Fabric) SendAndWait(p *sim.Proc, from, to int, size int) bool {
 	ev := f.env.NewEvent()
-	f.Send(from, to, size, ev.Fire)
+	arrive, delivered := f.send(0, from, to, size, ev.Fire)
+	if !delivered {
+		f.env.DeferAt(arrive, ev.Fire)
+	}
 	p.Wait(ev)
+	return delivered
 }
 
 // Stats returns a copy of the fabric-wide traffic counters.
@@ -443,9 +476,13 @@ func (f *Fabric) Endpoints() []int {
 }
 
 // EndpointSent returns the messages and bytes sent by an endpoint.
+// A pure read: an id that never sent reports zeros without inserting an
+// endpoint record, so probing cannot grow Endpoints().
 func (f *Fabric) EndpointSent(id int) (msgs, bytes int64) {
-	e := f.ep(id)
-	return e.sent, e.bytes
+	if e, ok := f.eps[id]; ok {
+		return e.sent, e.bytes
+	}
+	return 0, 0
 }
 
 func (f *Fabric) ep(id int) *endpoint {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/netsim"
 	"repro/internal/sim"
 )
 
@@ -155,6 +156,76 @@ func TestLinkStats(t *testing.T) {
 	}
 	if u := byName["tor0-spine"].Utilization(env.Now()); u <= 0 || u > 1 {
 		t.Errorf("uplink utilization = %v, want in (0, 1]", u)
+	}
+}
+
+// TestPathTimeStoreAndForward: a tree path's uncontended delivery time
+// is the sum of per-link serialization and latency over every hop —
+// store-and-forward, not end-to-end — and PathTime must equal what an
+// uncontended Send actually observes, since the reliable transport's
+// RTO floor is built on it.
+func TestPathTimeStoreAndForward(t *testing.T) {
+	env := sim.NewEnv()
+	f := TreeSpec(2, 2, 4).Build(env, "t", 56, 1500*sim.Nanosecond)
+	const size = 1 << 20
+	for _, tc := range []struct{ from, to int }{{0, 1}, {0, 2}, {3, 0}} {
+		var arrived sim.Time
+		env2 := sim.NewEnv()
+		f2 := TreeSpec(2, 2, 4).Build(env2, "t", 56, 1500*sim.Nanosecond)
+		f2.Send(tc.from, tc.to, size, func() { arrived = env2.Now() })
+		env2.Run()
+		if pt := f.PathTime(tc.from, tc.to, size); arrived != pt {
+			t.Errorf("(%d→%d) uncontended delivery at %v, PathTime says %v", tc.from, tc.to, arrived, pt)
+		}
+	}
+	// Cross-rack must cost strictly more than rack-local for the same
+	// size: two extra hops, one at the oversubscribed uplink rate.
+	if local, cross := f.PathTime(0, 1, size), f.PathTime(0, 2, size); cross <= local {
+		t.Errorf("cross-rack PathTime %v not above rack-local %v", cross, local)
+	}
+}
+
+// TestSendAndWaitDropResolvesTree: same deadlock regression as the flat
+// fabric — a dropped frame on a tree route must wake the blocked sender
+// at the would-be arrival time with delivered=false.
+func TestSendAndWaitDropResolvesTree(t *testing.T) {
+	env := sim.NewEnv()
+	f := TreeSpec(2, 2, 4).Build(env, "t", 56, 1500*sim.Nanosecond)
+	f.SetFilter(dropAll{})
+	var delivered bool
+	var at sim.Time
+	env.Spawn("sender", func(p *sim.Proc) {
+		delivered = f.SendAndWait(p, 0, 2, 4096)
+		at = p.Now()
+	})
+	env.Run()
+	if live := env.LiveProcs(); len(live) != 0 {
+		t.Fatalf("dropped send wedged the sender: %v", live)
+	}
+	if delivered {
+		t.Fatal("dropped send reported delivered")
+	}
+	if want := f.PathTime(0, 2, 4096); at != want {
+		t.Fatalf("sender woke at %v, want would-be arrival %v", at, want)
+	}
+}
+
+type dropAll struct{}
+
+func (dropAll) Outcome(from, to, size int) netsim.Outcome { return netsim.Outcome{Drop: true} }
+
+// TestEndpointSentPureReadTree mirrors the flat fabric's contract:
+// probing a silent endpoint reports zeros and cannot grow Endpoints().
+func TestEndpointSentPureReadTree(t *testing.T) {
+	env := sim.NewEnv()
+	f := TreeSpec(2, 2, 4).Build(env, "t", 56, 1500*sim.Nanosecond)
+	f.Send(0, 1, 100, nil)
+	env.Run()
+	if msgs, bytes := f.EndpointSent(3); msgs != 0 || bytes != 0 {
+		t.Fatalf("phantom endpoint reported %d msgs %d bytes", msgs, bytes)
+	}
+	if eps := f.Endpoints(); len(eps) != 1 || eps[0] != 0 {
+		t.Fatalf("probing EndpointSent(3) grew Endpoints() to %v", eps)
 	}
 }
 
