@@ -5,9 +5,10 @@
 GO ?= go
 
 .PHONY: check check-race fmt vet build test race bench-smoke trace-smoke \
-	bench-json perf-smoke sweep-smoke balloon-smoke topo-smoke netstorm-smoke
+	bench-json perf-smoke sweep-smoke balloon-smoke topo-smoke netstorm-smoke \
+	chaos-smoke
 
-check: fmt vet build race bench-smoke perf-smoke sweep-smoke balloon-smoke topo-smoke netstorm-smoke
+check: fmt vet build race bench-smoke perf-smoke sweep-smoke balloon-smoke topo-smoke netstorm-smoke chaos-smoke
 	@echo "check: all gates passed"
 
 fmt:
@@ -37,10 +38,10 @@ bench-smoke:
 
 # Full perf snapshot: microbenchmarks at BENCHTIME each, the figure
 # suite, a >10^6-event fleet soak with a steady-state heap assertion, and
-# a parallel-sweep scaling benchmark. Regenerates BENCH_pr9.json; see
+# a parallel-sweep scaling benchmark. Regenerates BENCH_pr10.json; see
 # "Performance tracking" in the README.
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_pr9.json
+BENCHOUT ?= BENCH_pr10.json
 bench-json:
 	$(GO) run ./cmd/fragperf -benchtime $(BENCHTIME) -out $(BENCHOUT)
 
@@ -116,3 +117,17 @@ netstorm-smoke:
 	$(GO) run ./cmd/fragsweep -experiments netstorm -scales 0.02 -seeds 4 -runs -json > /tmp/netstorm-par.json
 	cmp /tmp/netstorm-seq.json /tmp/netstorm-par.json
 	@echo "netstorm-smoke: storm/cut recovery deterministic; unreachable path exercised"
+
+# Chaos gate, two halves. Clean search: a bounded ~64-episode search
+# over seed code must come back with zero violations, byte-identical
+# across worker counts (-parallel changes wall time, never bytes).
+# Seeded bug: with a fixed historical bug re-introduced behind its test
+# hook, the search must find it (non-zero exit), shrink it, and export
+# an artifact that -replay re-executes byte-identically.
+chaos-smoke:
+	$(GO) run ./cmd/fragchaos -episodes 64 -seed 1 -json /tmp/chaos-seq.json -parallel 1
+	$(GO) run ./cmd/fragchaos -episodes 64 -seed 1 -json /tmp/chaos-par.json
+	cmp /tmp/chaos-seq.json /tmp/chaos-par.json
+	! $(GO) run ./cmd/fragchaos -episodes 12 -seed 2 -no-dedup -artifact /tmp/chaos-repro.json > /dev/null 2>&1
+	$(GO) run ./cmd/fragchaos -replay /tmp/chaos-repro.json
+	@echo "chaos-smoke: clean search deterministic; seeded bug found, shrunk, replayed byte-identically"

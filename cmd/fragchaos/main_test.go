@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// TestReplayRoundTrip drives the CLI's replay path end to end: a search
+// with a seeded bug exports an artifact, and runReplay re-executes it
+// byte-identically.
+func TestReplayRoundTrip(t *testing.T) {
+	cfg := chaos.Config{Episodes: 8, Seed: 2, Hooks: chaos.Hooks{NoDedup: true}}
+	rep := chaos.Search(cfg)
+	if len(rep.Findings) == 0 {
+		t.Fatal("seeded-bug search found nothing")
+	}
+	path := filepath.Join(t.TempDir(), "repro.json")
+	art := rep.Findings[0].Artifact(cfg.Seed, cfg.Hooks)
+	if err := os.WriteFile(path, art.JSON(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runReplay(path); code != 0 {
+		t.Fatalf("runReplay = %d, want 0", code)
+	}
+}
+
+// TestReplayRejectsGarbage: a malformed artifact fails cleanly.
+func TestReplayRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runReplay(path); code == 0 {
+		t.Fatal("malformed artifact replayed successfully")
+	}
+	if code := runReplay(filepath.Join(t.TempDir(), "missing.json")); code == 0 {
+		t.Fatal("missing artifact replayed successfully")
+	}
+}

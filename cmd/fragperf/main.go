@@ -23,7 +23,7 @@
 //
 // Usage:
 //
-//	fragperf [-out BENCH_pr9.json] [-benchtime 1s] [-quick]
+//	fragperf [-out BENCH_pr10.json] [-benchtime 1s] [-quick]
 //
 // -quick runs every microbenchmark for a single calibration pass and
 // shrinks the soak; it is the CI smoke mode (make perf-smoke).
@@ -42,6 +42,7 @@ import (
 
 	"repro/fragvisor"
 	"repro/internal/balloon"
+	"repro/internal/chaos"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
@@ -105,7 +106,7 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr9.json", "output JSON path (- for stdout)")
+	out := flag.String("out", "BENCH_pr10.json", "output JSON path (- for stdout)")
 	benchtime := flag.String("benchtime", "1s", "target run time per microbenchmark (go-test syntax: a duration, or Nx for a fixed iteration count)")
 	quick := flag.Bool("quick", false, "single-pass smoke mode: one iteration per benchmark, small soak")
 	soakVMs := flag.Int("soak-vms", 48, "fleet VMs per soak wave")
@@ -149,6 +150,7 @@ func main() {
 		{"link-contention", benchLinkContention},
 		{"reliable-send", benchReliableSend},
 		{"retry-storm", benchRetryStorm},
+		{"chaos-episode", benchChaosEpisode},
 	} {
 		r := measure(b.name, benchDur, benchIters, b.fn)
 		fmt.Fprintf(os.Stderr, "%-20s %10d iters  %12.1f ns/op %10.1f B/op %8.2f allocs/op\n",
@@ -473,6 +475,20 @@ func benchRetryStorm(n int) {
 		}
 	})
 	env.Run()
+}
+
+// benchChaosEpisode measures one full chaos episode per op — cluster
+// and VM construction, a generated fault schedule applied to the
+// recovery workload, and the whole oracle registry judging quiescence —
+// the unit cost that sizes a chaos search (cmd/fragchaos, chaos-smoke).
+func benchChaosEpisode(n int) {
+	ep := chaos.Generate(chaos.Config{Episodes: 1, Seed: 1,
+		Workloads: []string{chaos.WorkloadVM}})[0]
+	for i := 0; i < n; i++ {
+		if vs := chaos.Run(ep, chaos.Hooks{}); len(vs) != 0 {
+			panic(fmt.Sprintf("chaos episode violated: %v", vs))
+		}
+	}
 }
 
 // passFilter delivers everything but forces the transport off its

@@ -23,7 +23,10 @@
 // reduce experiment drives a Driver against a live FragVisor guest.
 package balloon
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Ledger is the host's balloon book-keeping for a set of VMs. Units are
 // abstract — the fleet counts vCPU-quanta (memory follows at the VM's
@@ -104,6 +107,16 @@ func (l *Ledger) Resident(vm int) int64 { return l.provisioned[vm] - l.ballooned
 func (l *Ledger) Has(vm int) bool {
 	_, ok := l.provisioned[vm]
 	return ok
+}
+
+// VMs returns every provisioned VM id in ascending order.
+func (l *Ledger) VMs() []int {
+	out := make([]int, 0, len(l.provisioned))
+	for vm := range l.provisioned {
+		out = append(out, vm)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // TotalBallooned sums pinned capacity across all VMs.

@@ -1,0 +1,89 @@
+// Replayable repro artifacts: a finding's minimized episode plus
+// everything needed to re-execute it — hooks, oracle, root seed —
+// serialized as deterministic JSON. Replaying an artifact re-runs the
+// episode in a fresh simulation and re-derives the artifact from the
+// replay's own verdicts; because every run is bit-deterministic, a
+// healthy artifact replays to byte-identical JSON, and any divergence
+// (code drift, a fixed bug, nondeterminism) shows up as a byte diff.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ArtifactVersion tags the artifact format.
+const ArtifactVersion = "fragchaos/1"
+
+// Artifact is one finding's replayable repro.
+type Artifact struct {
+	Version string `json:"version"`
+	Seed    int64  `json:"seed"`  // root seed of the search that found it
+	Hooks   Hooks  `json:"hooks"` // bug re-introduction flags the search ran with
+
+	Oracle string `json:"oracle"` // the invariant the repro violates
+	Detail string `json:"detail"` // the violation as observed on the shrunk episode
+
+	Episode        Episode `json:"episode"`         // the minimized repro
+	OriginalEvents int     `json:"original_events"` // pre-shrink element count
+	ShrinkRuns     int     `json:"shrink_runs"`
+}
+
+// Artifact packages a finding for replay.
+func (f Finding) Artifact(rootSeed int64, hooks Hooks) *Artifact {
+	a := &Artifact{
+		Version:        ArtifactVersion,
+		Seed:           rootSeed,
+		Hooks:          hooks,
+		Oracle:         f.Oracle,
+		Episode:        f.Shrunk,
+		OriginalEvents: f.Episode.Size(),
+		ShrinkRuns:     f.ShrinkRuns,
+	}
+	for _, v := range f.ShrunkViolations {
+		if v.Oracle == f.Oracle {
+			a.Detail = v.Detail
+			break
+		}
+	}
+	return a
+}
+
+// JSON renders the artifact deterministically.
+func (a *Artifact) JSON() []byte {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		panic("chaos: artifact marshal: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// ArtifactFromJSON parses an artifact and checks its version.
+func ArtifactFromJSON(b []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(b, &a); err != nil {
+		return nil, fmt.Errorf("chaos: artifact: %w", err)
+	}
+	if a.Version != ArtifactVersion {
+		return nil, fmt.Errorf("chaos: artifact version %q, want %q", a.Version, ArtifactVersion)
+	}
+	return &a, nil
+}
+
+// Replay re-executes the artifact's episode under its hooks and
+// re-derives the artifact from the replay's verdicts. ok reports
+// whether the replay tripped the artifact's oracle again; the returned
+// artifact's bytes equal the original's exactly when the replay
+// reproduced the identical violation.
+func (a *Artifact) Replay() (replayed *Artifact, vs []Violation, ok bool) {
+	vs = Run(a.Episode, a.Hooks)
+	out := *a
+	out.Detail = ""
+	for _, v := range vs {
+		if v.Oracle == a.Oracle {
+			out.Detail = v.Detail
+			break
+		}
+	}
+	return &out, vs, hasOracle(vs, a.Oracle)
+}

@@ -1,0 +1,111 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// fakeBug trips the "fake" oracle iff the episode holds both halves of
+// a two-element core — a drop storm with Count >= 3 and a crash — so a
+// correct shrinker must isolate exactly that pair from any surrounding
+// noise. It also reports "crash-only" for any crash, giving episodes a
+// second, overlapping oracle.
+func fakeBug(ep Episode) []Violation {
+	var vs []Violation
+	drop, crash := false, false
+	for _, e := range ep.Schedule.Events {
+		if e.Kind == fault.DropMessages && e.Count >= 3 {
+			drop = true
+		}
+		if e.Kind == fault.CrashNode {
+			crash = true
+		}
+	}
+	if drop && crash {
+		vs = append(vs, Violation{"fake", "drop+crash core present"})
+	}
+	if crash {
+		vs = append(vs, Violation{"crash-only", "a crash is present"})
+	}
+	return vs
+}
+
+func epJSON(t *testing.T, ep Episode) []byte {
+	t.Helper()
+	b, err := json.Marshal(ep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// TestQuickShrinkPreservesOracleAndIsDeterministic: for arbitrary
+// generated episodes seeded with the fake bug's trigger core, shrinking
+// (1) still trips the same oracle, (2) is deterministic — two shrinks
+// of the same episode agree byte-for-byte, (3) isolates the 1-minimal
+// core, and (4) narrows the drop budget to its smallest tripping value.
+func TestQuickShrinkPreservesOracleAndIsDeterministic(t *testing.T) {
+	prop := func(seed int64, extra uint8) bool {
+		cfg := Config{Episodes: 1, Seed: seed, MaxEvents: int(extra%10) + 2}
+		ep := Generate(cfg)[0]
+		ep.Schedule.Add(fault.Event{At: sim.Second, Kind: fault.DropMessages,
+			From: fault.Any, To: fault.Any, Count: 50})
+		ep.Schedule.Add(fault.Event{At: 2 * sim.Second, Kind: fault.CrashNode, Node: 1})
+		if !hasOracle(fakeBug(ep), "fake") {
+			return false
+		}
+
+		s1, _ := Shrink(ep, "fake", 2000, fakeBug)
+		s2, _ := Shrink(ep, "fake", 2000, fakeBug)
+		if string(epJSON(t, s1)) != string(epJSON(t, s2)) {
+			t.Logf("seed %d: shrink not deterministic", seed)
+			return false
+		}
+		if !hasOracle(fakeBug(s1), "fake") {
+			t.Logf("seed %d: shrunk episode lost the oracle", seed)
+			return false
+		}
+		if s1.Size() != 2 {
+			t.Logf("seed %d: shrunk to %d elements, want the 2-element core", seed, s1.Size())
+			return false
+		}
+		for _, e := range s1.Schedule.Events {
+			if e.Kind == fault.DropMessages && (e.Count != 3 || e.From == fault.Any || e.To == fault.Any) {
+				t.Logf("seed %d: drop not narrowed: count=%d from=%d to=%d", seed, e.Count, e.From, e.To)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickShrinkTracksChosenOracle: when an episode trips two oracles
+// at once, shrinking toward one never drifts onto the other — the
+// result trips the chosen oracle even after the elements that fed the
+// overlapping one are gone.
+func TestQuickShrinkTracksChosenOracle(t *testing.T) {
+	prop := func(seed int64) bool {
+		cfg := Config{Episodes: 1, Seed: seed, MaxEvents: 8}
+		ep := Generate(cfg)[0]
+		ep.Schedule.Add(fault.Event{At: sim.Second, Kind: fault.DropMessages,
+			From: fault.Any, To: fault.Any, Count: 9})
+		ep.Schedule.Add(fault.Event{At: 2 * sim.Second, Kind: fault.CrashNode, Node: 2})
+
+		shrunk, _ := Shrink(ep, "crash-only", 2000, fakeBug)
+		if !hasOracle(fakeBug(shrunk), "crash-only") {
+			return false
+		}
+		// The crash-only oracle needs exactly one element.
+		return shrunk.Size() == 1 && shrunk.Schedule.Count(fault.CrashNode) == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+// The search loop: generate episodes, fan them out across a worker
+// pool, judge each at quiescence, then shrink every finding. Episode
+// execution is embarrassingly parallel (each run owns its sim.Env);
+// results land in pre-indexed slots, and generation and shrinking are
+// sequential — so a search's Report is a pure function of its Config,
+// independent of Parallel.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/sweep"
+)
+
+// Finding is one violating episode with its minimized repro.
+type Finding struct {
+	Episode    Episode     `json:"episode"`    // as generated
+	Violations []Violation `json:"violations"` // the original episode's verdicts
+	Oracle     string      `json:"oracle"`     // the oracle the shrink preserved
+
+	Shrunk           Episode     `json:"shrunk"`
+	ShrunkViolations []Violation `json:"shrunk_violations"`
+	ShrinkRuns       int         `json:"shrink_runs"` // episode re-runs the shrink spent
+}
+
+// Report is a whole search's outcome.
+type Report struct {
+	Seed     int64         `json:"seed"`
+	Episodes int           `json:"episodes"`
+	Hooks    Hooks         `json:"hooks"`
+	Outcomes [][]Violation `json:"outcomes"` // violations per episode, index order
+	Findings []Finding     `json:"findings"`
+}
+
+// Search runs a full chaos search: cfg.Episodes episodes across
+// cfg.Parallel workers, then a sequential, deterministic shrink of
+// every violating episode.
+func Search(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	eps := Generate(cfg)
+	outcomes := make([][]Violation, len(eps))
+	sweep.ForEach(len(eps), cfg.Parallel, func(i int) {
+		outcomes[i] = Run(eps[i], cfg.Hooks)
+	})
+
+	rep := &Report{Seed: cfg.Seed, Episodes: cfg.Episodes, Hooks: cfg.Hooks, Outcomes: outcomes}
+	run := func(c Episode) []Violation { return Run(c, cfg.Hooks) }
+	for i, vs := range outcomes {
+		if len(vs) == 0 {
+			continue
+		}
+		oracle := vs[0].Oracle
+		shrunk, runs := Shrink(eps[i], oracle, cfg.ShrinkBudget, run)
+		rep.Findings = append(rep.Findings, Finding{
+			Episode:          eps[i],
+			Violations:       vs,
+			Oracle:           oracle,
+			Shrunk:           shrunk,
+			ShrunkViolations: run(shrunk),
+			ShrinkRuns:       runs,
+		})
+	}
+	return rep
+}
+
+// JSON renders the report deterministically (for golden comparisons
+// across parallelism levels).
+func (r *Report) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic("chaos: report marshal: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// Summary renders the search outcome as a short deterministic text
+// block for logs and the CLI.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: seed=%d episodes=%d findings=%d\n", r.Seed, r.Episodes, len(r.Findings))
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  %s: %s\n", f.Episode, f.Violations[0])
+		fmt.Fprintf(&b, "    shrunk to events=%d storms=%d in %d runs\n",
+			len(f.Shrunk.Schedule.Events), len(f.Shrunk.Storms), f.ShrinkRuns)
+	}
+	return b.String()
+}

@@ -1,0 +1,225 @@
+// Schedule shrinking: delta-debugging a violating episode down to a
+// minimal repro that still trips the same oracle. Two phases, both
+// deterministic for a fixed episode and runner:
+//
+//  1. ddmin over the episode's elements (schedule events and arrival
+//     storms, order preserved): try the empty episode, then shrink by
+//     chunk subsets and complements at doubling granularity — the
+//     classic Zeller/Hildebrandt algorithm.
+//  2. Narrowing over the surviving elements: shrink message-rule
+//     budgets toward 1, halve delays, pin Any wildcards to concrete
+//     endpoints, and shrink storm sizes — repeated to a fixpoint.
+//
+// Every candidate is judged by re-running the episode; a candidate is
+// accepted only if its violations still include the oracle being
+// preserved, so a shrink can never drift onto a different failure. The
+// run budget caps total re-executions; when it runs out, the best
+// episode so far is returned.
+package chaos
+
+import "repro/internal/fault"
+
+// runner executes a candidate episode and reports its violations.
+// Searches pass Run (with their hooks bound); tests inject fakes.
+type runner func(Episode) []Violation
+
+// elem is one shrinkable unit: exactly one of ev/storm is set.
+type elem struct {
+	ev    *fault.Event
+	storm *Storm
+}
+
+// elements flattens an episode into its shrinkable units.
+func elements(ep Episode) []elem {
+	var es []elem
+	for i := range ep.Schedule.Events {
+		es = append(es, elem{ev: &ep.Schedule.Events[i]})
+	}
+	for i := range ep.Storms {
+		es = append(es, elem{storm: &ep.Storms[i]})
+	}
+	return es
+}
+
+// build reassembles an episode from a subset of its elements, keeping
+// identity (index, workload, seed, scale) intact.
+func build(ep Episode, es []elem) Episode {
+	out := ep
+	out.Schedule = fault.Schedule{}
+	out.Storms = nil
+	for _, e := range es {
+		if e.ev != nil {
+			out.Schedule.Add(*e.ev)
+		} else {
+			out.Storms = append(out.Storms, *e.storm)
+		}
+	}
+	return out
+}
+
+// Shrink minimizes a violating episode while preserving the named
+// oracle's violation, spending at most budget re-runs. It returns the
+// minimal episode found and the number of runs spent. The input
+// episode must already trip the oracle (the search only shrinks
+// confirmed findings).
+func Shrink(ep Episode, oracle string, budget int, run runner) (Episode, int) {
+	runs := 0
+	trips := func(c Episode) bool {
+		if runs >= budget {
+			return false
+		}
+		runs++
+		return hasOracle(run(c), oracle)
+	}
+
+	// A violation that needs no faults at all (an engine-level bug, a
+	// workload bug) shrinks straight to the empty schedule.
+	if empty := build(ep, nil); trips(empty) {
+		return empty, runs
+	}
+
+	cur := ddmin(ep, elements(ep), trips)
+	best := narrow(build(ep, cur), trips)
+	return best, runs
+}
+
+// ddmin is the chunk-based minimization core: it maintains the
+// invariant that build(ep, cur) trips, and returns the smallest
+// element subset it can confirm.
+func ddmin(ep Episode, cur []elem, trips func(Episode) bool) []elem {
+	n := 2
+	for len(cur) >= 2 {
+		reduced := false
+		for i := 0; i < n && !reduced; i++ {
+			sub := chunk(cur, i, n)
+			if len(sub) > 0 && len(sub) < len(cur) && trips(build(ep, sub)) {
+				cur, n, reduced = sub, 2, true
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n > 2 { // complements of small chunks (n==2 complements are the chunks themselves)
+			for i := 0; i < n && !reduced; i++ {
+				comp := complement(cur, i, n)
+				if len(comp) > 0 && len(comp) < len(cur) && trips(build(ep, comp)) {
+					cur, reduced = comp, true
+					if n = n - 1; n < 2 {
+						n = 2
+					}
+				}
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n >= len(cur) {
+			break
+		}
+		if n *= 2; n > len(cur) {
+			n = len(cur)
+		}
+	}
+	return cur
+}
+
+// chunk returns the i-th of n even slices of es.
+func chunk(es []elem, i, n int) []elem {
+	lo := i * len(es) / n
+	hi := (i + 1) * len(es) / n
+	return es[lo:hi]
+}
+
+// complement returns es without its i-th chunk.
+func complement(es []elem, i, n int) []elem {
+	lo := i * len(es) / n
+	hi := (i + 1) * len(es) / n
+	out := append([]elem(nil), es[:lo]...)
+	return append(out, es[hi:]...)
+}
+
+// narrow runs per-element domain-narrowing passes to a fixpoint:
+// each pass proposes smaller variants of one element and keeps the
+// first that still trips.
+func narrow(ep Episode, trips func(Episode) bool) Episode {
+	for changed := true; changed; {
+		changed = false
+		for i := range ep.Schedule.Events {
+			for _, cand := range narrowEvent(ep, i) {
+				if trips(cand) {
+					ep, changed = cand, true
+					break
+				}
+			}
+		}
+		for i := range ep.Storms {
+			for _, cand := range narrowStorm(ep, i) {
+				if trips(cand) {
+					ep, changed = cand, true
+					break
+				}
+			}
+		}
+	}
+	return ep
+}
+
+// withEvent deep-copies the episode with event i replaced.
+func withEvent(ep Episode, i int, e fault.Event) Episode {
+	out := ep
+	out.Schedule = fault.Schedule{Events: append([]fault.Event(nil), ep.Schedule.Events...)}
+	out.Schedule.Events[i] = e
+	return out
+}
+
+// narrowEvent proposes smaller variants of schedule event i, strongest
+// reduction first.
+func narrowEvent(ep Episode, i int) []Episode {
+	e := ep.Schedule.Events[i]
+	var out []Episode
+	if e.Count > 1 {
+		// Strongest first: 1, then half, then a single decrement so the
+		// fixpoint reaches the true minimum even when halving skips it.
+		one, half, dec := e, e, e
+		one.Count = 1
+		half.Count = e.Count / 2
+		dec.Count = e.Count - 1
+		out = append(out, withEvent(ep, i, one), withEvent(ep, i, half), withEvent(ep, i, dec))
+	}
+	if e.From == fault.Any {
+		for n := 0; n < chaosNodes; n++ {
+			c := e
+			c.From = n
+			out = append(out, withEvent(ep, i, c))
+		}
+	}
+	if e.To == fault.Any {
+		for n := 0; n < chaosNodes; n++ {
+			c := e
+			c.To = n
+			out = append(out, withEvent(ep, i, c))
+		}
+	}
+	if (e.Kind == fault.DelayMessages || e.Kind == fault.DegradeLink) && e.Delay > 1 {
+		c := e
+		c.Delay = e.Delay / 2
+		out = append(out, withEvent(ep, i, c))
+	}
+	return out
+}
+
+// narrowStorm proposes smaller variants of storm i.
+func narrowStorm(ep Episode, i int) []Episode {
+	st := ep.Storms[i]
+	var out []Episode
+	if st.VMs > 1 {
+		with := func(vms int) Episode {
+			o := ep
+			o.Storms = append([]Storm(nil), ep.Storms...)
+			o.Storms[i].VMs = vms
+			return o
+		}
+		out = append(out, with(1), with(st.VMs/2))
+	}
+	return out
+}

@@ -146,7 +146,7 @@ type Event struct {
 // Schedule is an ordered list of fault events. The zero value is an empty
 // (fault-free) schedule.
 type Schedule struct {
-	Events []Event
+	Events []Event `json:"events"`
 }
 
 // Add appends an event and returns the schedule for chaining.

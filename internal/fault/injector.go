@@ -53,6 +53,7 @@ type Injector struct {
 	onCrash []func(node int)
 	ctr     *metrics.Counters
 	tr      *trace.Tracer
+	log     []Applied // applied events in fire order (json.go)
 }
 
 // New creates an injector for the cluster and installs it as the fault
@@ -132,6 +133,7 @@ func (i *Injector) Apply(s Schedule) {
 
 // fire applies one fault event now.
 func (i *Injector) fire(e Event) {
+	i.log = append(i.log, Applied{At: i.env.Now(), Event: e})
 	i.ctr.Inc("fault."+e.Kind.String(), 1)
 	if i.tr != nil {
 		i.tr.Instant(0, trace.CatFault, e.Node, i.tr.Key("fault", e.Kind.String()))

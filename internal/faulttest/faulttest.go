@@ -81,6 +81,18 @@ type Scenario struct {
 	// schedule's CrashNode count — link-cut schedules, whose deaths are
 	// not crashes, must set it explicitly.
 	ExpectDeaths int
+
+	// Hook, when set, runs against the freshly built cluster before the
+	// VM boots — the chaos engine uses it to install bug-reintroduction
+	// test hooks (netsim.TestHooks, reliable.TestHooks) on the fabrics
+	// and transport.
+	Hook func(c *cluster.Cluster)
+
+	// Watchdog, when positive, arms the sim no-progress watchdog with
+	// that window: a run that deadlocks or livelocks stops with a typed
+	// Result.Stall instead of hanging the host test. Progress is marked
+	// on every workload completion, death declaration, and recovery.
+	Watchdog sim.Time
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -122,10 +134,11 @@ type Result struct {
 	CheckpointBytes int64    // guest state captured in the image
 	CheckpointTime  sim.Time // how long Take blocked the VM
 
-	PatternMismatches []string // pages whose contents diverged, human-readable
-	PatternChecked    bool     // false when skipped (dead slices, no checkpoint)
-	CoherenceErr      error    // dsm.Validate result
-	LiveProcs         []string // processes still blocked after env.Run — deadlock
+	PatternMismatches []string        // pages whose contents diverged, human-readable
+	PatternChecked    bool            // false when skipped (dead slices, no checkpoint)
+	CoherenceErr      error           // dsm.Validate result
+	LiveProcs         []string        // processes still blocked after env.Run — deadlock
+	Stall             *sim.StallError // watchdog verdict; nil when progress never stopped
 
 	DSM       dsm.Stats      // aggregate protocol stats
 	MsgFaults msg.FaultStats // messaging-layer fault stats
@@ -135,7 +148,8 @@ type Result struct {
 
 // Ok reports whether the run passed every built-in assertion.
 func (r *Result) Ok() bool {
-	return len(r.LiveProcs) == 0 && r.CoherenceErr == nil && len(r.PatternMismatches) == 0
+	return len(r.LiveProcs) == 0 && r.CoherenceErr == nil &&
+		len(r.PatternMismatches) == 0 && r.Stall == nil
 }
 
 // Metrics renders the observable behavior of the run as one deterministic
@@ -146,9 +160,12 @@ func (r *Result) Metrics() string {
 	fmt.Fprintf(&b, "detected=%v dead=%v recovered=%v restores=%v\n", r.Detected, r.DeadAt, r.Recovered, r.Restores)
 	fmt.Fprintf(&b, "checkpoint bytes=%d took=%v\n", r.CheckpointBytes, r.CheckpointTime)
 	fmt.Fprintf(&b, "pattern checked=%v mismatches=%d\n", r.PatternChecked, len(r.PatternMismatches))
-	fmt.Fprintf(&b, "coherent=%v liveprocs=%d\n", r.CoherenceErr == nil, len(r.LiveProcs))
+	fmt.Fprintf(&b, "coherent=%v liveprocs=%d stalled=%v\n", r.CoherenceErr == nil, len(r.LiveProcs), r.Stall != nil)
 	if r.CoherenceErr != nil {
 		fmt.Fprintf(&b, "coherence error: %v\n", r.CoherenceErr)
+	}
+	if r.Stall != nil {
+		fmt.Fprintf(&b, "stall: %v\n", r.Stall)
 	}
 	fmt.Fprintf(&b, "dsm=%+v\n", r.DSM)
 	fmt.Fprintf(&b, "msg=%+v\n", r.MsgFaults)
@@ -176,6 +193,9 @@ func Run(s Scenario) *Result {
 	params.Topo = s.Topo
 	c := cluster.New(env, s.Nodes, params)
 	inj := fault.New(c)
+	if s.Hook != nil {
+		s.Hook(c)
+	}
 
 	nodes := make([]int, s.Nodes)
 	for i := range nodes {
@@ -239,6 +259,7 @@ func Run(s Scenario) *Result {
 		recoveries := 0
 		if !s.HeartbeatOff {
 			vm.StartHeartbeat(s.HeartbeatInterval, s.HeartbeatTimeout, func(hp *sim.Proc, node int) {
+				env.MarkProgress() // a death declaration is forward motion
 				res.Detected = append(res.Detected, hp.Now()-start)
 				res.DeadAt = append(res.DeadAt, node)
 				vm.RestartOnSurvivors()
@@ -246,6 +267,7 @@ func Run(s Scenario) *Result {
 					res.Restores = append(res.Restores, checkpoint.Restore(hp, vm, img))
 				}
 				res.Recovered = append(res.Recovered, hp.Now()-start)
+				env.MarkProgress()
 				recoveries++
 				if recoveries == expectedDeaths {
 					recoveredAll.Fire()
@@ -294,7 +316,11 @@ func Run(s Scenario) *Result {
 		res.Wall = p.Now() - start
 	})
 
+	if s.Watchdog > 0 {
+		env.WatchProgress(s.Watchdog)
+	}
 	env.Run()
+	res.Stall = env.Stalled()
 	res.LiveProcs = env.LiveProcs()
 	res.DSM = vm.DSM.TotalStats()
 	res.MsgFaults = vm.Layer.FaultStats()

@@ -797,90 +797,13 @@ func homeOf(pl sched.Placement) int {
 	return best
 }
 
-// Verify checks every control-plane invariant and panics on violation:
-// per-node CPU/memory books balance against placements, nothing exceeds
-// capacity, and the lease ledger matches the fragments exactly (no
-// double-booked lease). Tests call it; internal mutations call it at
-// every quiescent point.
+// Verify checks every control-plane invariant and panics on the first
+// violation: per-node CPU/memory books balance against placements,
+// nothing exceeds capacity, balloon conservation holds, and the lease
+// ledger matches the fragments exactly (no double-booked lease). Tests
+// call it; internal mutations call it at every quiescent point. Use
+// VerifyReport (verify.go) for the same checks as typed data.
 func (f *Fleet) Verify() { f.verify() }
-
-func (f *Fleet) verify() {
-	usedCPU := make([]int, f.cfg.Nodes)
-	usedMem := make([]int64, f.cfg.Nodes)
-	var ids []int
-	for id := range f.placements {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		mpc := f.reqs[id].memPerCPU()
-		for _, n := range placementNodes(f.placements[id]) {
-			usedCPU[n] += f.placements[id][n]
-			usedMem[n] += int64(f.placements[id][n]) * mpc
-		}
-	}
-	for n := 0; n < f.cfg.Nodes; n++ {
-		if f.down[n] {
-			if usedCPU[n] != 0 {
-				panic(fmt.Sprintf("fleet: down node %d still hosts %d vCPUs", n, usedCPU[n]))
-			}
-			continue
-		}
-		if f.freeCPU[n] < 0 || f.freeCPU[n]+usedCPU[n] != f.cfg.CPUsPerNode {
-			panic(fmt.Sprintf("fleet: node %d CPU books broken: free %d + used %d != %d",
-				n, f.freeCPU[n], usedCPU[n], f.cfg.CPUsPerNode))
-		}
-		if f.freeMem[n] < 0 || f.freeMem[n]+usedMem[n] != f.cfg.MemPerNode {
-			panic(fmt.Sprintf("fleet: node %d memory books broken: free %d + used %d != %d",
-				n, f.freeMem[n], usedMem[n], f.cfg.MemPerNode))
-		}
-	}
-	// Balloon conservation: every VM's resident vCPUs plus its
-	// ballooned vCPUs equal its provisioned size, bit-exactly. (The
-	// node free pools were already shown non-negative above.)
-	if err := f.ballooned.Verify(); err != nil {
-		panic(fmt.Sprintf("fleet: %v", err))
-	}
-	for _, id := range ids {
-		var resident int64
-		for _, n := range placementNodes(f.placements[id]) {
-			resident += int64(f.placements[id][n])
-		}
-		if resident+f.ballooned.Ballooned(id) != int64(f.reqs[id].VCPUs) {
-			panic(fmt.Sprintf("fleet: VM %d balloon books broken: resident %d + ballooned %d != provisioned %d",
-				id, resident, f.ballooned.Ballooned(id), f.reqs[id].VCPUs))
-		}
-	}
-	// Lease ledger: exactly one active lease per non-home fragment,
-	// none anywhere else.
-	type key struct{ vm, node int }
-	active := map[key]*Lease{}
-	for _, l := range f.leases {
-		if l.State == LeaseReleased {
-			continue
-		}
-		k := key{l.VM, l.Node}
-		if active[k] != nil {
-			panic(fmt.Sprintf("fleet: leases %d and %d double-book VM %d on node %d",
-				active[k].ID, l.ID, l.VM, l.Node))
-		}
-		active[k] = l
-		pl := f.placements[l.VM]
-		if pl == nil || pl[l.Node] == 0 || f.home[l.VM] == l.Node {
-			panic(fmt.Sprintf("fleet: lease %d covers no fragment (VM %d node %d)", l.ID, l.VM, l.Node))
-		}
-		if l.CPUs != pl[l.Node] {
-			panic(fmt.Sprintf("fleet: lease %d books %d vCPUs, fragment has %d", l.ID, l.CPUs, pl[l.Node]))
-		}
-	}
-	for _, id := range ids {
-		for _, n := range placementNodes(f.placements[id]) {
-			if n != f.home[id] && active[key{id, n}] == nil {
-				panic(fmt.Sprintf("fleet: fragment of VM %d on node %d has no lease", id, n))
-			}
-		}
-	}
-}
 
 // GenerateBurst synthesizes n VM arrivals over the window: sizes from the
 // paper's Azure-like distribution (via sched.GenerateBurst), memory at

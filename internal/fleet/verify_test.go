@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// gangFleet builds the lease-bearing fixture the violation tests
+// corrupt: three VMs on two 4-CPU nodes, the third gang-placed 1+1 with
+// one active lease on node 1.
+func gangFleet(t *testing.T) *Fleet {
+	t.Helper()
+	env, f := newFleet(t, Config{Nodes: 2, CPUsPerNode: 4, MemPerNode: 8 * gig, Policy: sched.MinNodes})
+	f.Submit([]Request{
+		{ID: 1, VCPUs: 3, MemBytes: gig, Arrival: 0, Duration: 10 * sim.Second},
+		{ID: 2, VCPUs: 3, MemBytes: gig, Arrival: 0, Duration: 10 * sim.Second},
+		{ID: 3, VCPUs: 2, MemBytes: gig, Arrival: 1, Duration: 10 * sim.Second},
+	})
+	env.RunUntil(2)
+	if got := f.VerifyReport(); len(got) != 0 {
+		t.Fatalf("fixture already broken: %v", got)
+	}
+	return f
+}
+
+// activeLease returns the fixture's single active lease.
+func activeLease(t *testing.T, f *Fleet) *Lease {
+	t.Helper()
+	for _, l := range f.leases {
+		if l.State == LeaseActive {
+			return l
+		}
+	}
+	t.Fatal("fixture has no active lease")
+	return nil
+}
+
+// wantOnly asserts the report holds exactly one violation of the class.
+func wantOnly(t *testing.T, f *Fleet, class ViolationClass) Violation {
+	t.Helper()
+	vs := f.VerifyReport()
+	if len(vs) != 1 || vs[0].Class != class {
+		t.Fatalf("report = %+v, want exactly one %s", vs, class)
+	}
+	return vs[0]
+}
+
+func TestViolationDownNodeHosting(t *testing.T) {
+	f := gangFleet(t)
+	f.down[0] = true
+	v := wantOnly(t, f, VDownNodeHosting)
+	if v.Node != 0 {
+		t.Fatalf("violation node = %d, want 0", v.Node)
+	}
+}
+
+func TestViolationCPUBooks(t *testing.T) {
+	f := gangFleet(t)
+	f.freeCPU[1]--
+	v := wantOnly(t, f, VCPUBooks)
+	if v.Node != 1 || !strings.Contains(v.Msg, "CPU books broken") {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestViolationMemBooks(t *testing.T) {
+	f := gangFleet(t)
+	f.freeMem[0] -= 512
+	wantOnly(t, f, VMemBooks)
+}
+
+func TestViolationBalloonLedger(t *testing.T) {
+	f := gangFleet(t)
+	f.ballooned.Provision(999, 4) // ledger entry with no placement
+	v := wantOnly(t, f, VBalloonLedger)
+	if v.VM != 999 {
+		t.Fatalf("violation VM = %d, want 999", v.VM)
+	}
+}
+
+func TestViolationBalloonBooks(t *testing.T) {
+	f := gangFleet(t)
+	// Inflate behind the fleet's back: the ledger stays internally
+	// consistent but resident+ballooned no longer matches provisioned.
+	f.ballooned.Inflate(3, 1)
+	v := wantOnly(t, f, VBalloonBooks)
+	if v.VM != 3 {
+		t.Fatalf("violation VM = %d, want 3", v.VM)
+	}
+}
+
+func TestViolationLeaseDoubleBook(t *testing.T) {
+	f := gangFleet(t)
+	l := activeLease(t, f)
+	dup := *l
+	dup.ID = 99
+	f.leases = append(f.leases, &dup)
+	v := wantOnly(t, f, VLeaseDoubleBook)
+	if v.VM != l.VM || v.Node != l.Node {
+		t.Fatalf("violation = %+v, want VM %d node %d", v, l.VM, l.Node)
+	}
+}
+
+func TestViolationLeaseNoFragment(t *testing.T) {
+	f := gangFleet(t)
+	f.leases = append(f.leases, &Lease{ID: 99, VM: 42, Node: 0, CPUs: 1, State: LeaseActive})
+	v := wantOnly(t, f, VLeaseNoFragment)
+	if v.Lease != 99 {
+		t.Fatalf("violation lease = %d, want 99", v.Lease)
+	}
+}
+
+func TestViolationLeaseCPUMismatch(t *testing.T) {
+	f := gangFleet(t)
+	activeLease(t, f).CPUs++
+	wantOnly(t, f, VLeaseCPUMismatch)
+}
+
+func TestViolationFragmentNoLease(t *testing.T) {
+	f := gangFleet(t)
+	activeLease(t, f).State = LeaseReleased
+	v := wantOnly(t, f, VFragmentNoLease)
+	if v.VM != 3 {
+		t.Fatalf("violation VM = %d, want 3", v.VM)
+	}
+}
+
+// TestVerifyPanicsOnFirstViolation: the panic wrapper keeps the old
+// contract — fail fast with the first violation's rendered message.
+func TestVerifyPanicsOnFirstViolation(t *testing.T) {
+	f := gangFleet(t)
+	f.freeCPU[0]--
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Verify did not panic on broken books")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "CPU books broken") {
+			t.Fatalf("panic = %v, want fleet CPU-books message", r)
+		}
+	}()
+	f.Verify()
+}
+
+// TestVerifyReportMultiple: independent corruptions each surface — the
+// report does not stop at the first broken invariant.
+func TestVerifyReportMultiple(t *testing.T) {
+	f := gangFleet(t)
+	f.freeCPU[0]--
+	f.freeMem[1] -= 512
+	activeLease(t, f).CPUs++
+	vs := f.VerifyReport()
+	classes := map[ViolationClass]bool{}
+	for _, v := range vs {
+		classes[v.Class] = true
+	}
+	for _, want := range []ViolationClass{VCPUBooks, VMemBooks, VLeaseCPUMismatch} {
+		if !classes[want] {
+			t.Errorf("report %v missing %s", vs, want)
+		}
+	}
+	if len(vs) != 3 {
+		t.Errorf("report has %d violations, want 3: %+v", len(vs), vs)
+	}
+}

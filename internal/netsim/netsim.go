@@ -90,6 +90,7 @@ type Net struct {
 	nics    map[int]*nic
 	stats   Stats
 	filter  Filter
+	hooks   TestHooks
 	tr      *trace.Tracer
 	nicSpan string // interned span name for NIC occupancy intervals
 }
@@ -225,7 +226,7 @@ func (n *Net) send(span int64, from, to int, size int, deliver func()) (sim.Time
 func (n *Net) SendAndWait(p *sim.Proc, from, to int, size int) bool {
 	ev := n.env.NewEvent()
 	arrive, delivered := n.send(0, from, to, size, ev.Fire)
-	if !delivered {
+	if !delivered && !n.hooks.WedgeOnDrop {
 		n.env.DeferAt(arrive, ev.Fire)
 	}
 	p.Wait(ev)
@@ -250,6 +251,10 @@ func (n *Net) Endpoints() []int {
 // A pure read: an id that never sent reports zeros without inserting a NIC
 // record, so probing cannot grow Endpoints().
 func (n *Net) EndpointSent(id int) (msgs, bytes int64) {
+	if n.hooks.PhantomEndpoints {
+		e := n.nic(id)
+		return e.sent, e.bytes
+	}
 	if e, ok := n.nics[id]; ok {
 		return e.sent, e.bytes
 	}

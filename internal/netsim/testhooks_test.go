@@ -1,0 +1,54 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestWedgeOnDropHook: with the hook set, a dropped blocking send never
+// resolves — the sender proc stays parked (the historical bug). Without
+// it, the sender resumes at the would-be arrival time with false.
+func TestWedgeOnDropHook(t *testing.T) {
+	for _, wedge := range []bool{false, true} {
+		env := sim.NewEnv()
+		n := New(env, "ib", sim.Microsecond, 56)
+		n.SetFilter(&scriptFilter{outcomes: []Outcome{{Drop: true}}})
+		n.SetTestHooks(TestHooks{WedgeOnDrop: wedge})
+		resumed := false
+		env.Spawn("sender", func(p *sim.Proc) {
+			if n.SendAndWait(p, 0, 1, 100) {
+				t.Error("dropped send reported delivered")
+			}
+			resumed = true
+		})
+		env.Run()
+		if resumed == wedge {
+			t.Fatalf("wedge=%v: sender resumed=%v", wedge, resumed)
+		}
+	}
+}
+
+// TestPhantomEndpointsHook: with the hook set, probing a silent
+// endpoint allocates its NIC record and grows Endpoints() — the
+// historical accounting bug. Without it, probes are pure reads.
+func TestPhantomEndpointsHook(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, "ib", 0, 56)
+	n.Send(0, 1, 100, nil)
+	env.Run()
+
+	if msgs, _ := n.EndpointSent(7); msgs != 0 {
+		t.Fatalf("silent endpoint reports %d msgs", msgs)
+	}
+	if eps := n.Endpoints(); len(eps) != 1 {
+		t.Fatalf("pure-read probe grew Endpoints() to %v", eps)
+	}
+
+	n.SetTestHooks(TestHooks{PhantomEndpoints: true})
+	n.EndpointSent(7)
+	eps := n.Endpoints()
+	if len(eps) != 2 || eps[1] != 7 {
+		t.Fatalf("hooked probe produced Endpoints() = %v, want phantom id 7", eps)
+	}
+}

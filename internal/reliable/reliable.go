@@ -166,7 +166,23 @@ type Transport struct {
 	recvd   map[flowKey]*window
 	handler map[int]Handler
 	stats   Stats
+	hooks   TestHooks
 }
+
+// TestHooks re-enable fixed historical bugs behind an explicit opt-in,
+// for the chaos engine's self-validation. The zero value is the fixed
+// behavior; production code never sets hooks.
+type TestHooks struct {
+	// NoDedup disables receive-side duplicate suppression: every frame
+	// of a duplicated or retransmitted message delivers its payload
+	// again, breaking the exactly-once contract (Delivered can exceed
+	// Sent as soon as any DupMessages rule or retransmission fires).
+	NoDedup bool
+}
+
+// SetTestHooks installs (or, with the zero value, clears) the
+// transport's bug-reintroduction hooks.
+func (t *Transport) SetTestHooks(h TestHooks) { t.hooks = h }
 
 // New returns a transport over the fabric. Handlers are registered per
 // receiving node with Handle; nodes without one still ack (the common
@@ -324,7 +340,7 @@ func (t *Transport) onData(span int64, from, to int, seq uint64, payload any) {
 	if t.recvd[flowKey{from, to}] == nil {
 		t.recvd[flowKey{from, to}] = &window{}
 	}
-	if t.recvd[flowKey{from, to}].admit(seq) {
+	if t.recvd[flowKey{from, to}].admit(seq) || t.hooks.NoDedup {
 		t.stats.Delivered++
 		if h := t.handler[to]; h != nil {
 			h(from, payload)

@@ -402,3 +402,46 @@ func TestRTOTracksPathTime(t *testing.T) {
 		t.Fatalf("rto(16MB) = %v undercuts 2×PathTime = %v", got, floor)
 	}
 }
+
+// TestNoDedupHookBreaksExactlyOnce: dropping the first ack forces a
+// retransmission, so the receiver sees the data frame twice. With
+// dedup (the fixed behavior) the duplicate is suppressed; with the
+// NoDedup hook the payload delivers twice and Delivered exceeds Sent —
+// the violation the chaos engine's exactly-once oracle looks for.
+func TestNoDedupHookBreaksExactlyOnce(t *testing.T) {
+	for _, noDedup := range []bool{false, true} {
+		env := sim.NewEnv()
+		fab := newFabric(env)
+		acksDropped := 0
+		fab.SetFilter(&scriptFilter{fn: func(from, to, size int) netsim.Outcome {
+			if from == 1 && to == 0 && acksDropped == 0 {
+				acksDropped++
+				return netsim.Outcome{Drop: true}
+			}
+			return netsim.Outcome{}
+		}})
+		tr := New(env, fab, fastParams())
+		tr.SetTestHooks(TestHooks{NoDedup: noDedup})
+		handled := 0
+		tr.Handle(1, func(from int, payload any) { handled++ })
+		env.Spawn("send", func(p *sim.Proc) {
+			if err := tr.Send(p, 0, 1, 1024); err != nil {
+				t.Errorf("send failed: %v", err)
+			}
+		})
+		env.Run()
+		st := tr.Stats()
+		if st.Sent != 1 || st.Retransmits != 1 {
+			t.Fatalf("noDedup=%v: stats %+v, want 1 send 1 retransmit", noDedup, st)
+		}
+		if noDedup {
+			if st.Delivered != 2 || handled != 2 {
+				t.Fatalf("hooked transport delivered %d (handled %d), want duplicated delivery", st.Delivered, handled)
+			}
+		} else {
+			if st.Delivered != 1 || handled != 1 || st.DupsSuppressed != 1 {
+				t.Fatalf("fixed transport stats %+v handled %d, want exactly-once", st, handled)
+			}
+		}
+	}
+}

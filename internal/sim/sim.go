@@ -214,6 +214,15 @@ type Env struct {
 	procs      []*Proc
 	finished   int // finished procs still sitting in procs
 	trace      any
+
+	// No-progress watchdog state (watchdog.go): progress advances on
+	// every proc completion and MarkProgress call; a full wdWindow with
+	// no advance records stall and stops the run.
+	progress uint64
+	stall    *StallError
+	wdWindow Time
+	wdLast   uint64
+	wdGen    uint64
 }
 
 // SetTrace attaches an opaque tracing context to the environment. The sim
@@ -442,6 +451,7 @@ func (e *Env) dispatch(p *Proc) {
 	e.current = prev
 	if p.finished {
 		e.finished++
+		e.progress++
 		if len(e.procs) >= procCompactMin && e.finished*2 > len(e.procs) {
 			e.compactProcs()
 		}

@@ -1,0 +1,37 @@
+package sweep
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversEveryIndex: every index runs exactly once and slot
+// writes land index-ordered regardless of worker count.
+func TestForEachCoversEveryIndex(t *testing.T) {
+	const n = 97
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, parallel := range []int{1, 2, 8, 0, n + 5} {
+		got := make([]int, n)
+		var calls int64
+		ForEach(n, parallel, func(i int) {
+			atomic.AddInt64(&calls, 1)
+			got[i] = i * i
+		})
+		if calls != n {
+			t.Fatalf("parallel=%d: fn ran %d times, want %d", parallel, calls, n)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallel=%d: slots %v", parallel, got)
+		}
+	}
+}
+
+// TestForEachEmpty: n <= 0 is a no-op.
+func TestForEachEmpty(t *testing.T) {
+	ForEach(0, 4, func(i int) { t.Errorf("fn called with i=%d", i) })
+	ForEach(-3, 4, func(i int) { t.Errorf("fn called with i=%d", i) })
+}

@@ -91,27 +91,28 @@ type Result struct {
 // builds its own sim.Env and touches no shared mutable state.
 type Runner func(Point) (*metrics.Table, error)
 
-// Run executes every grid point across `parallel` worker goroutines
-// (GOMAXPROCS when parallel <= 0) and returns results in grid order.
-// The returned error is the first (by grid index) per-point error; all
-// points run regardless.
-func Run(spec Spec, parallel int, run Runner) ([]Result, error) {
-	pts := spec.Points()
-	results := make([]Result, len(pts))
+// ForEach runs fn(i) for every i in [0, n) across `parallel` worker
+// goroutines (GOMAXPROCS when parallel <= 0) and returns once all calls
+// finish. It is the package's generic fan-out primitive: an index
+// channel feeds workers, so each call owns whatever pre-indexed result
+// slot it writes and no two goroutines ever touch the same element —
+// the caller's collection order is index order by construction,
+// independent of worker count. fn must not panic (wrap with a recover,
+// as Run's runPoint does) and must touch no shared mutable state beyond
+// its own slot.
+func ForEach(n, parallel int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
-	if parallel > len(pts) {
-		parallel = len(pts)
+	if parallel > n {
+		parallel = n
 	}
 	if parallel < 1 {
 		parallel = 1
 	}
-
-	// Work distribution: an index channel feeds workers; each worker owns
-	// the result slot for the point it drew, so no two goroutines ever
-	// write the same element and collection order is grid order by
-	// construction.
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < parallel; w++ {
@@ -119,21 +120,33 @@ func Run(spec Spec, parallel int, run Runner) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				p := pts[i]
-				tab, err := runPoint(run, p)
-				r := Result{Point: p, Table: tab, Err: err}
-				if err == nil {
-					r.Values = Extract(tab)
-				}
-				results[i] = r
+				fn(i)
 			}
 		}()
 	}
-	for i := range pts {
+	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
+}
+
+// Run executes every grid point across `parallel` worker goroutines
+// (GOMAXPROCS when parallel <= 0) and returns results in grid order.
+// The returned error is the first (by grid index) per-point error; all
+// points run regardless.
+func Run(spec Spec, parallel int, run Runner) ([]Result, error) {
+	pts := spec.Points()
+	results := make([]Result, len(pts))
+	ForEach(len(pts), parallel, func(i int) {
+		p := pts[i]
+		tab, err := runPoint(run, p)
+		r := Result{Point: p, Table: tab, Err: err}
+		if err == nil {
+			r.Values = Extract(tab)
+		}
+		results[i] = r
+	})
 
 	for i := range results {
 		if results[i].Err != nil {

@@ -219,8 +219,13 @@ type Fabric struct {
 	eps    map[int]*endpoint
 	stats  netsim.Stats
 	filter netsim.Filter
+	hooks  netsim.TestHooks
 	tr     *trace.Tracer
 }
+
+// SetTestHooks installs (or, with the zero value, clears) the fabric's
+// bug-reintroduction hooks — see netsim.TestHooks.
+func (f *Fabric) SetTestHooks(h netsim.TestHooks) { f.hooks = h }
 
 var _ netsim.Fabric = (*Fabric)(nil)
 
@@ -455,7 +460,7 @@ func (f *Fabric) send(span int64, from, to int, size int, deliver func()) (sim.T
 func (f *Fabric) SendAndWait(p *sim.Proc, from, to int, size int) bool {
 	ev := f.env.NewEvent()
 	arrive, delivered := f.send(0, from, to, size, ev.Fire)
-	if !delivered {
+	if !delivered && !f.hooks.WedgeOnDrop {
 		f.env.DeferAt(arrive, ev.Fire)
 	}
 	p.Wait(ev)
@@ -479,6 +484,10 @@ func (f *Fabric) Endpoints() []int {
 // A pure read: an id that never sent reports zeros without inserting an
 // endpoint record, so probing cannot grow Endpoints().
 func (f *Fabric) EndpointSent(id int) (msgs, bytes int64) {
+	if f.hooks.PhantomEndpoints {
+		e := f.ep(id)
+		return e.sent, e.bytes
+	}
 	if e, ok := f.eps[id]; ok {
 		return e.sent, e.bytes
 	}
